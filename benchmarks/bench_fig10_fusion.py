@@ -1,0 +1,89 @@
+"""Figure 10: effectiveness of operator fusion (UnOpt/Opt × Trill/TiLT).
+
+The paper measures the single-thread execution time of the trend-analysis
+query (Figure 3) in four configurations, normalized to the un-optimized
+Trill query:
+
+* Trill UnOpt — the query exactly as written (Window-Sum → Select → Join →
+  Where);
+* Trill Opt   — the Selects manually folded into the Join payload (the only
+  fusion an event-centric optimizer can do; the paper reports a 1.06×
+  improvement);
+* TiLT UnOpt  — one kernel per temporal expression, intermediates
+  materialized (the interpreted-SPE execution model);
+* TiLT Opt    — the fused single-expression kernel.
+
+Expected shape: Trill Opt barely improves on Trill UnOpt; TiLT UnOpt already
+beats both (no per-event interpretation); TiLT Opt adds a further integer
+factor on top from fusion across the pipeline breakers.
+
+Run with ``pytest benchmarks/bench_fig10_fusion.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.trading import trend_trading_query
+from repro.core.frontend.query import LEFT, PAYLOAD, RIGHT, source
+from repro.core.runtime.engine import TiltEngine
+from repro.datagen import stock_price_stream
+from repro.spe import TrillEngine
+from repro.windowing import SUM
+
+from benchutil import record_throughput, tilt_native_inputs
+
+NUM_EVENTS = 20_000
+E = PAYLOAD
+
+
+def unoptimized_trill_query():
+    """Figure 2a: Window-Sum → Select(÷size) → Join(l−r) → Where(>0)."""
+    stock = source("stock")
+    avg10 = stock.window(10, 1).aggregate(SUM).select(E / 10.0)
+    avg20 = stock.window(20, 1).aggregate(SUM).select(E / 20.0)
+    return avg10.join(avg20, LEFT - RIGHT).where(E > 0)
+
+
+def optimized_trill_query():
+    """Figure 2b: the Selects folded into the Join payload."""
+    stock = source("stock")
+    sum10 = stock.window(10, 1).aggregate(SUM)
+    sum20 = stock.window(20, 1).aggregate(SUM)
+    return sum10.join(sum20, LEFT / 10.0 - RIGHT / 20.0).where(E > 0)
+
+
+@pytest.fixture(scope="module")
+def stock_streams():
+    return {"stock": stock_price_stream(NUM_EVENTS, seed=0)}
+
+
+class TestFigure10:
+    def test_trill_unopt(self, benchmark, stock_streams):
+        engine = TrillEngine(batch_size=8192, workers=1)
+        query = unoptimized_trill_query()
+        benchmark.pedantic(lambda: engine.run(query, stock_streams), rounds=1, iterations=1)
+        record_throughput(benchmark, "Fig10 trill-unopt", NUM_EVENTS)
+
+    def test_trill_opt(self, benchmark, stock_streams):
+        engine = TrillEngine(batch_size=8192, workers=1)
+        query = optimized_trill_query()
+        benchmark.pedantic(lambda: engine.run(query, stock_streams), rounds=1, iterations=1)
+        record_throughput(benchmark, "Fig10 trill-opt", NUM_EVENTS)
+
+    def test_tilt_unopt(self, benchmark, stock_streams):
+        # optimizer disabled: one kernel per operator, intermediates materialized
+        engine = TiltEngine(workers=1, optimize=False)
+        compiled = engine.compile(trend_trading_query().to_program())
+        assert len(compiled.kernels) > 1
+        inputs = tilt_native_inputs(stock_streams)
+        benchmark.pedantic(lambda: engine.run(compiled, inputs), rounds=2, iterations=1)
+        record_throughput(benchmark, "Fig10 tilt-unopt", NUM_EVENTS)
+
+    def test_tilt_opt(self, benchmark, stock_streams):
+        engine = TiltEngine(workers=1)
+        compiled = engine.compile(trend_trading_query().to_program())
+        assert compiled.fused
+        inputs = tilt_native_inputs(stock_streams)
+        benchmark.pedantic(lambda: engine.run(compiled, inputs), rounds=3, iterations=1)
+        record_throughput(benchmark, "Fig10 tilt-opt", NUM_EVENTS)

@@ -1,0 +1,90 @@
+"""Figure 7a: throughput of the primitive temporal operations.
+
+Four micro-benchmarks — Select, Where, Window-Sum and temporal Join — are
+measured on every engine that supports them (Grizzly/LightSaber support only
+the first three; Join runs on Trill, StreamBox and TiLT).  Expected shape,
+matching the paper: all engines are comparable on the trivial per-event
+operators, TiLT wins clearly on Window-Sum, and the Join gap is largest
+against StreamBox (its O(n²) join) and large against Trill.
+
+Run with ``pytest benchmarks/bench_fig7a_operators.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import JOIN_OP, SELECT_OP, WHERE_OP, WINDOW_SUM_OP
+from repro.core.runtime.engine import TiltEngine
+from repro.spe import GrizzlyEngine, LightSaberEngine, StreamBoxEngine, TrillEngine
+
+from benchutil import record_throughput, tilt_native_inputs
+
+NUM_EVENTS = 40_000
+#: the StreamBox-like nested-loop join is quadratic; keep its input smaller
+JOIN_EVENTS_STREAMBOX = 8_000
+WORKERS = 4
+
+PER_EVENT_APPS = [SELECT_OP, WHERE_OP]
+AGG_APPS = [SELECT_OP, WHERE_OP, WINDOW_SUM_OP]
+
+
+def _events(streams):
+    return sum(len(s) for s in streams.values())
+
+
+def _run_baseline(benchmark, app, engine, num_events, rounds=2):
+    streams = app.streams(num_events, seed=0)
+    query = app.query()
+    benchmark.pedantic(lambda: engine.run(query, streams), rounds=rounds, iterations=1)
+    record_throughput(benchmark, f"Fig7a/{app.name} {engine.name}", _events(streams))
+
+
+def _run_tilt(benchmark, app, num_events, rounds=5):
+    streams = app.streams(num_events, seed=0)
+    engine = TiltEngine(workers=WORKERS)
+    compiled = engine.compile(app.program())
+    inputs = tilt_native_inputs(streams)
+    benchmark.pedantic(lambda: engine.run(compiled, inputs), rounds=rounds, iterations=1)
+    record_throughput(benchmark, f"Fig7a/{app.name} tilt", _events(streams))
+
+
+@pytest.mark.parametrize("app", AGG_APPS, ids=lambda a: a.name)
+class TestAggregationCapableEngines:
+    def test_trill(self, benchmark, app):
+        _run_baseline(benchmark, app, TrillEngine(batch_size=8192, workers=WORKERS), NUM_EVENTS)
+
+    def test_streambox(self, benchmark, app):
+        _run_baseline(
+            benchmark, app, StreamBoxEngine(batch_size=8192, workers=WORKERS), NUM_EVENTS
+        )
+
+    def test_grizzly(self, benchmark, app):
+        _run_baseline(benchmark, app, GrizzlyEngine(workers=WORKERS), NUM_EVENTS, rounds=3)
+
+    def test_lightsaber(self, benchmark, app):
+        _run_baseline(benchmark, app, LightSaberEngine(workers=WORKERS), NUM_EVENTS, rounds=3)
+
+    def test_tilt(self, benchmark, app):
+        _run_tilt(benchmark, app, NUM_EVENTS)
+
+
+class TestJoin:
+    """Temporal join: only Trill, StreamBox and TiLT support it (Section 7.1)."""
+
+    def test_trill(self, benchmark):
+        _run_baseline(
+            benchmark, JOIN_OP, TrillEngine(batch_size=8192, workers=WORKERS), NUM_EVENTS
+        )
+
+    def test_streambox(self, benchmark):
+        _run_baseline(
+            benchmark,
+            JOIN_OP,
+            StreamBoxEngine(batch_size=8192, workers=WORKERS),
+            JOIN_EVENTS_STREAMBOX,
+            rounds=1,
+        )
+
+    def test_tilt(self, benchmark):
+        _run_tilt(benchmark, JOIN_OP, NUM_EVENTS)

@@ -1,0 +1,50 @@
+"""Figure 7b: throughput on the eight real-world applications, Trill vs TiLT.
+
+Only the Trill-like baseline has a query language rich enough to express all
+eight applications (temporal join, shift, chop, custom aggregates), exactly
+as in the paper; each application is measured on Trill and on TiLT with the
+same synthetic dataset.  Expected shape: TiLT wins on every application, by
+one to two orders of magnitude.
+
+Run with ``pytest benchmarks/bench_fig7b_applications.py --benchmark-only -s``.
+The per-application rows print as ``[Fig7b/<app> <engine>] X.XXX M events/s``;
+the speedup of TiLT over Trill for an application is the ratio of its two
+rows, and the paper's headline number is the average of those ratios.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import REAL_WORLD_APPLICATIONS
+from repro.core.runtime.engine import TiltEngine
+from repro.spe import TrillEngine
+
+from benchutil import record_throughput, tilt_native_inputs
+
+NUM_EVENTS = 16_000
+WORKERS = 4
+
+APP_IDS = [app.name for app in REAL_WORLD_APPLICATIONS]
+
+
+def _events(streams):
+    return sum(len(s) for s in streams.values())
+
+
+@pytest.mark.parametrize("app", REAL_WORLD_APPLICATIONS, ids=APP_IDS)
+class TestRealWorldApplications:
+    def test_trill(self, benchmark, app):
+        streams = app.streams(NUM_EVENTS, seed=0)
+        engine = TrillEngine(batch_size=8192, workers=WORKERS)
+        query = app.query()
+        benchmark.pedantic(lambda: engine.run(query, streams), rounds=1, iterations=1)
+        record_throughput(benchmark, f"Fig7b/{app.name} trill", _events(streams))
+
+    def test_tilt(self, benchmark, app):
+        streams = app.streams(NUM_EVENTS, seed=0)
+        engine = TiltEngine(workers=WORKERS)
+        compiled = engine.compile(app.program())
+        inputs = tilt_native_inputs(streams)
+        benchmark.pedantic(lambda: engine.run(compiled, inputs), rounds=3, iterations=1)
+        record_throughput(benchmark, f"Fig7b/{app.name} tilt", _events(streams))

@@ -1,0 +1,79 @@
+"""Figures 8a/8b: multi-core scalability on the Yahoo Streaming Benchmark.
+
+The paper runs YSB with an increasing number of worker threads on a 12-core
+and a 32-core machine.  Here the worker count is swept over {1, 2, 4, 8} on
+whatever cores the host offers; the series to compare are the same as in the
+paper:
+
+* TiLT — synchronization-free partition parallelism; best absolute
+  throughput and the best scaling;
+* LightSaber — pane-parallel aggregation, scales but below TiLT;
+* Grizzly — shared locked aggregation state limits its scaling;
+* StreamBox — data-parallel stateless stages only;
+* Trill — no intra-partition parallelism at all (flat line).
+
+Run with ``pytest benchmarks/bench_fig8_scalability.py --benchmark-only -s``
+and read one series per engine, one point per worker count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import YSB
+from repro.core.runtime.engine import TiltEngine
+from repro.spe import GrizzlyEngine, LightSaberEngine, StreamBoxEngine, TrillEngine
+
+from benchutil import record_throughput, tilt_native_inputs
+
+NUM_EVENTS = 60_000
+WORKER_SWEEP = [1, 2, 4, 8]
+
+
+@pytest.fixture(scope="module")
+def ysb_streams():
+    return YSB.streams(NUM_EVENTS, seed=0)
+
+
+@pytest.fixture(scope="module")
+def ysb_query():
+    return YSB.query()
+
+
+def _events(streams):
+    return sum(len(s) for s in streams.values())
+
+
+@pytest.mark.parametrize("workers", WORKER_SWEEP)
+class TestScalability:
+    def test_tilt(self, benchmark, ysb_streams, workers):
+        engine = TiltEngine(workers=workers)
+        compiled = engine.compile(YSB.program())
+        inputs = tilt_native_inputs(ysb_streams)
+        benchmark.pedantic(lambda: engine.run(compiled, inputs), rounds=3, iterations=1)
+        record_throughput(benchmark, f"Fig8/ysb tilt workers={workers}", _events(ysb_streams))
+
+    def test_lightsaber(self, benchmark, ysb_streams, ysb_query, workers):
+        engine = LightSaberEngine(workers=workers)
+        benchmark.pedantic(lambda: engine.run(ysb_query, ysb_streams), rounds=2, iterations=1)
+        record_throughput(
+            benchmark, f"Fig8/ysb lightsaber workers={workers}", _events(ysb_streams)
+        )
+
+    def test_grizzly(self, benchmark, ysb_streams, ysb_query, workers):
+        engine = GrizzlyEngine(workers=workers)
+        benchmark.pedantic(lambda: engine.run(ysb_query, ysb_streams), rounds=2, iterations=1)
+        record_throughput(benchmark, f"Fig8/ysb grizzly workers={workers}", _events(ysb_streams))
+
+    def test_streambox(self, benchmark, ysb_streams, ysb_query, workers):
+        engine = StreamBoxEngine(batch_size=8192, workers=workers)
+        benchmark.pedantic(lambda: engine.run(ysb_query, ysb_streams), rounds=1, iterations=1)
+        record_throughput(
+            benchmark, f"Fig8/ysb streambox workers={workers}", _events(ysb_streams)
+        )
+
+    def test_trill(self, benchmark, ysb_streams, ysb_query, workers):
+        # Trill has no intra-partition parallelism: extra workers change nothing
+        engine = TrillEngine(batch_size=8192, workers=workers)
+        benchmark.pedantic(lambda: engine.run(ysb_query, ysb_streams), rounds=1, iterations=1)
+        record_throughput(benchmark, f"Fig8/ysb trill workers={workers}", _events(ysb_streams))

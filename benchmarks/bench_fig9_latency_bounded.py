@@ -1,0 +1,57 @@
+"""Figure 9: latency-bounded throughput of Trill and TiLT.
+
+The paper sweeps the batch / snapshot-buffer size from 10 to 1M events on
+the eight real-world applications and reports throughput at each point:
+Trill collapses at small batches (per-batch overheads dominate) while TiLT
+stays essentially flat across the whole latency spectrum.
+
+Here the batch size is swept over {100, 1000, full dataset}:
+
+* for the Trill-like engine the knob is the micro-batch size;
+* for TiLT it is the partition interval, converted from events to seconds at
+  the stream's event rate (the "user-defined interval size" of Section 6.2).
+
+Run with ``pytest benchmarks/bench_fig9_latency_bounded.py --benchmark-only -s``
+and read one series per (application, engine) pair, one point per batch size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import REAL_WORLD_APPLICATIONS
+from repro.core.runtime.engine import TiltEngine
+from repro.metrics.latency import events_to_interval
+from repro.spe import TrillEngine
+
+from benchutil import record_throughput, tilt_native_inputs
+
+NUM_EVENTS = 8_000
+BATCH_SIZES = [100, 1_000, NUM_EVENTS]
+WORKERS = 2
+
+APP_IDS = [app.name for app in REAL_WORLD_APPLICATIONS]
+
+
+def _events(streams):
+    return sum(len(s) for s in streams.values())
+
+
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+@pytest.mark.parametrize("app", REAL_WORLD_APPLICATIONS, ids=APP_IDS)
+class TestLatencyBoundedThroughput:
+    def test_trill(self, benchmark, app, batch):
+        streams = app.streams(NUM_EVENTS, seed=0)
+        engine = TrillEngine(batch_size=batch, workers=WORKERS)
+        query = app.query()
+        benchmark.pedantic(lambda: engine.run(query, streams), rounds=1, iterations=1)
+        record_throughput(benchmark, f"Fig9/{app.name} trill batch={batch}", _events(streams))
+
+    def test_tilt(self, benchmark, app, batch):
+        streams = app.streams(NUM_EVENTS, seed=0)
+        interval = events_to_interval(streams, batch)
+        engine = TiltEngine(workers=WORKERS, partition_interval=interval)
+        compiled = engine.compile(app.program())
+        inputs = tilt_native_inputs(streams)
+        benchmark.pedantic(lambda: engine.run(compiled, inputs), rounds=2, iterations=1)
+        record_throughput(benchmark, f"Fig9/{app.name} tilt batch={batch}", _events(streams))

@@ -1,0 +1,69 @@
+"""Table 1: Yahoo Streaming Benchmark throughput across engines.
+
+The paper's Table 1 reports YSB throughput (million events/sec) for
+scale-out engines (Spark, Flink — not reproducible on a single process and
+omitted here) and scale-up engines: Trill, StreamBox, Grizzly, LightSaber,
+plus TiLT.  This benchmark reproduces the scale-up columns: the expected
+*shape* is interpreted engines (Trill/StreamBox) slowest, the vectorized
+aggregation-only engines (Grizzly/LightSaber) in between, and TiLT fastest.
+
+Run with ``pytest benchmarks/bench_table1_ysb.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import YSB
+from repro.core.runtime.engine import TiltEngine
+from repro.spe import GrizzlyEngine, LightSaberEngine, StreamBoxEngine, TrillEngine
+
+from benchutil import record_throughput, tilt_native_inputs
+
+NUM_EVENTS = 60_000
+WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def ysb_streams():
+    return YSB.streams(NUM_EVENTS, seed=0)
+
+
+@pytest.fixture(scope="module")
+def ysb_query():
+    return YSB.query()
+
+
+def _events(streams):
+    return sum(len(s) for s in streams.values())
+
+
+class TestTable1:
+    def test_trill(self, benchmark, ysb_streams, ysb_query):
+        engine = TrillEngine(batch_size=8192, workers=WORKERS)
+        benchmark.pedantic(lambda: engine.run(ysb_query, ysb_streams), rounds=2, iterations=1)
+        record_throughput(benchmark, "Table1/YSB trill", _events(ysb_streams))
+
+    def test_streambox(self, benchmark, ysb_streams, ysb_query):
+        engine = StreamBoxEngine(batch_size=8192, workers=WORKERS)
+        benchmark.pedantic(lambda: engine.run(ysb_query, ysb_streams), rounds=2, iterations=1)
+        record_throughput(benchmark, "Table1/YSB streambox", _events(ysb_streams))
+
+    def test_grizzly(self, benchmark, ysb_streams, ysb_query):
+        engine = GrizzlyEngine(workers=WORKERS)
+        benchmark.pedantic(lambda: engine.run(ysb_query, ysb_streams), rounds=3, iterations=1)
+        record_throughput(benchmark, "Table1/YSB grizzly", _events(ysb_streams))
+
+    def test_lightsaber(self, benchmark, ysb_streams, ysb_query):
+        engine = LightSaberEngine(workers=WORKERS)
+        benchmark.pedantic(lambda: engine.run(ysb_query, ysb_streams), rounds=3, iterations=1)
+        record_throughput(benchmark, "Table1/YSB lightsaber", _events(ysb_streams))
+
+    def test_tilt(self, benchmark, ysb_streams):
+        engine = TiltEngine(workers=WORKERS)
+        compiled = engine.compile(YSB.program())
+        inputs = tilt_native_inputs(ysb_streams)
+        benchmark.pedantic(
+            lambda: engine.run(compiled, inputs), rounds=5, iterations=1
+        )
+        record_throughput(benchmark, "Table1/YSB tilt", _events(ysb_streams))

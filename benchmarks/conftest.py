@@ -1,0 +1,21 @@
+"""Shared fixtures for the benchmark suite.
+
+Run the whole suite with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Each benchmark prints a one-line row with its throughput in million events
+per second, reproducing the rows/series of the corresponding paper table or
+figure, and attaches the same numbers to ``benchmark.extra_info`` so they
+also appear in the pytest-benchmark JSON/console output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def benchmark_events() -> int:
+    """Default dataset size for the benchmark workloads."""
+    return 20_000

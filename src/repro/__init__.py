@@ -1,0 +1,78 @@
+"""repro — a Python reproduction of TiLT (ASPLOS 2023).
+
+TiLT is a time-centric intermediate representation, optimizer and parallel
+runtime for stream queries.  This package provides:
+
+* ``repro.core`` — the TiLT IR, the event-centric frontend, boundary
+  resolution, the optimizer (operator fusion across pipeline breakers), the
+  code-generating and interpreted backends, and the partition-parallel
+  engine;
+* ``repro.windowing`` — sliding-window aggregation algorithms and the
+  Init/Acc/Result/Deacc aggregate template;
+* ``repro.spe`` — event-centric baseline engines modelled after Trill,
+  StreamBox, Grizzly and LightSaber;
+* ``repro.datagen`` — synthetic data generators standing in for the paper's
+  datasets;
+* ``repro.apps`` — the Yahoo Streaming Benchmark and the eight real-world
+  applications of the paper's evaluation;
+* ``repro.metrics`` — throughput and latency-bounded-throughput harnesses.
+
+Quickstart::
+
+    from repro import TiltEngine, source, PAYLOAD as E, LEFT, RIGHT
+    from repro.windowing import MEAN
+    from repro.datagen import stock_price_stream
+
+    stock = source("stock")
+    trend = (stock.window(10, 1).aggregate(MEAN)
+                  .join(stock.window(20, 1).aggregate(MEAN), LEFT - RIGHT)
+                  .where(E > 0))
+    engine = TiltEngine(workers=4)
+    result = engine.run(trend.to_program(), {"stock": stock_price_stream(10_000)})
+    print(result.throughput, "events/sec")
+"""
+
+from .core import (
+    LEFT,
+    PAYLOAD,
+    RIGHT,
+    CompiledQuery,
+    Event,
+    EventStream,
+    IRBuilder,
+    Interpreter,
+    QueryResult,
+    SSBuf,
+    TiltEngine,
+    TiltProgram,
+    compile_program,
+    optimize,
+    resolve_boundaries,
+    source,
+    when,
+)
+from .errors import TiltError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "TiltError",
+    "CompiledQuery",
+    "Interpreter",
+    "compile_program",
+    "source",
+    "PAYLOAD",
+    "LEFT",
+    "RIGHT",
+    "IRBuilder",
+    "TiltProgram",
+    "when",
+    "resolve_boundaries",
+    "optimize",
+    "Event",
+    "EventStream",
+    "SSBuf",
+    "QueryResult",
+    "TiltEngine",
+]

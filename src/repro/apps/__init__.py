@@ -1,0 +1,87 @@
+"""Benchmark applications: YSB, primitive operators and the eight real-world queries."""
+
+from typing import Dict, List
+
+from .base import StreamingApplication
+from .finance import FRAUD_DETECTION, fraud_detection_query
+from .healthcare import PAN_TOMPKINS, pan_tompkins_query
+from .manufacturing import VIBRATION, vibration_query
+from .primitives import (
+    JOIN_OP,
+    PRIMITIVE_OPERATIONS,
+    SELECT_OP,
+    WHERE_OP,
+    WINDOW_SUM_OP,
+    join_query,
+    select_query,
+    where_query,
+    window_sum_query,
+)
+from .signal import (
+    IMPUTATION,
+    NORMALIZATION,
+    RESAMPLING,
+    imputation_query,
+    normalization_query,
+    resampling_query,
+)
+from .trading import RSI, TREND_TRADING, rsi_query, trend_trading_query
+from .ysb import YSB, ysb_query
+
+#: the eight real-world applications of Table 2, in the paper's order
+REAL_WORLD_APPLICATIONS: List[StreamingApplication] = [
+    TREND_TRADING,
+    RSI,
+    NORMALIZATION,
+    IMPUTATION,
+    RESAMPLING,
+    PAN_TOMPKINS,
+    VIBRATION,
+    FRAUD_DETECTION,
+]
+
+#: every application, keyed by its short name
+ALL_APPLICATIONS: Dict[str, StreamingApplication] = {
+    app.name: app
+    for app in REAL_WORLD_APPLICATIONS + PRIMITIVE_OPERATIONS + [YSB]
+}
+
+
+def get_application(name: str) -> StreamingApplication:
+    """Look up an application by its short name (raises ``KeyError`` if unknown)."""
+    return ALL_APPLICATIONS[name]
+
+
+__all__ = [
+    "StreamingApplication",
+    "REAL_WORLD_APPLICATIONS",
+    "PRIMITIVE_OPERATIONS",
+    "ALL_APPLICATIONS",
+    "get_application",
+    "TREND_TRADING",
+    "RSI",
+    "NORMALIZATION",
+    "IMPUTATION",
+    "RESAMPLING",
+    "PAN_TOMPKINS",
+    "VIBRATION",
+    "FRAUD_DETECTION",
+    "YSB",
+    "SELECT_OP",
+    "WHERE_OP",
+    "WINDOW_SUM_OP",
+    "JOIN_OP",
+    "trend_trading_query",
+    "rsi_query",
+    "normalization_query",
+    "imputation_query",
+    "resampling_query",
+    "pan_tompkins_query",
+    "vibration_query",
+    "fraud_detection_query",
+    "ysb_query",
+    "select_query",
+    "where_query",
+    "window_sum_query",
+    "join_query",
+]

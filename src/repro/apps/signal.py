@@ -1,0 +1,123 @@
+"""Signal processing / data-preparation applications.
+
+Three of the Table 2 queries operate on a synthetic 1000 Hz floating-point
+signal: Z-score normalization, missing-value imputation and resampling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.frontend.query import LEFT, PAYLOAD, RIGHT, QueryNode, source
+from ..core.runtime.stream import EventStream
+from ..datagen.generators import random_signal_stream
+from ..windowing.functions import MEAN, STDDEV
+from .base import StreamingApplication
+
+__all__ = [
+    "normalization_query",
+    "imputation_query",
+    "resampling_query",
+    "NORMALIZATION",
+    "IMPUTATION",
+    "RESAMPLING",
+    "SIGNAL_FREQUENCY_HZ",
+]
+
+E = PAYLOAD
+
+#: sampling frequency of the synthetic signal used by these applications
+SIGNAL_FREQUENCY_HZ = 1000.0
+_PERIOD = 1.0 / SIGNAL_FREQUENCY_HZ
+
+
+def normalization_query(window: float = 10.0) -> QueryNode:
+    """Standard-score normalization: ``(x - μ) / σ`` per tumbling window.
+
+    The mean and standard deviation of the signal are computed over a
+    ``window``-second tumbling window; every sample is normalized against the
+    statistics of the window it falls into.
+    """
+    signal = source("signal")
+    mean = signal.window(window, window).aggregate(MEAN).named("window_mean")
+    std = signal.window(window, window).aggregate(STDDEV).named("window_std")
+    centered = signal.join(mean, LEFT - RIGHT).named("centered")
+    return centered.join(std, LEFT / RIGHT).named("zscore")
+
+
+def imputation_query(window: float = 10.0) -> QueryNode:
+    """Missing-value imputation: fill gaps with the tumbling-window average.
+
+    Where the signal has events, their values pass through unchanged; where
+    samples are missing, the average of the surrounding ``window``-second
+    tumbling window is substituted.
+    """
+    signal = source("signal")
+    fill = signal.window(window, window).aggregate(MEAN).named("fill_value")
+    return signal.coalesce(fill).named("imputed")
+
+
+def resampling_query(output_period: float = 0.0025, input_period: float = _PERIOD) -> QueryNode:
+    """Signal resampling to a new output frequency.
+
+    The value at each output sample is the midpoint average of the current
+    and previous input sample (Select + Shift + Join), and the resulting
+    temporal object is chopped onto the output period grid (Chop).  The paper
+    uses linear interpolation; midpoint interpolation exercises exactly the
+    same operator chain (Select, Join, Shift, Chop) with a simpler arithmetic
+    kernel, which is what matters for the performance comparison.
+    """
+    signal = source("signal")
+    prev = signal.shift(input_period).named("prev_sample")
+    midpoint = signal.join(prev, (LEFT + RIGHT) / 2.0).named("midpoint")
+    return midpoint.chop(output_period).named("resampled")
+
+
+def _signal_streams(num_events: int, seed: int) -> Dict[str, EventStream]:
+    return {
+        "signal": random_signal_stream(
+            num_events, seed=seed + 11, frequency_hz=SIGNAL_FREQUENCY_HZ
+        )
+    }
+
+
+def _gappy_signal_streams(num_events: int, seed: int) -> Dict[str, EventStream]:
+    return {
+        "signal": random_signal_stream(
+            num_events,
+            seed=seed + 11,
+            frequency_hz=SIGNAL_FREQUENCY_HZ,
+            missing_fraction=0.05,
+        )
+    }
+
+
+NORMALIZATION = StreamingApplication(
+    name="normalize",
+    title="Normalization",
+    description="Normalize event values using Z-score",
+    operators="Avg, StdDev, Join",
+    dataset="Synthetic 1000 Hz floating-point signal",
+    build_query=normalization_query,
+    build_streams=_signal_streams,
+)
+
+IMPUTATION = StreamingApplication(
+    name="impute",
+    title="Signal imputation",
+    description="Replace missing signal values with the window average",
+    operators="Avg, Shift, Join",
+    dataset="Synthetic 1000 Hz signal with 5% missing samples",
+    build_query=imputation_query,
+    build_streams=_gappy_signal_streams,
+)
+
+RESAMPLING = StreamingApplication(
+    name="resample",
+    title="Resampling",
+    description="Change the signal sampling frequency",
+    operators="Select, Join, Shift, Chop",
+    dataset="Synthetic 1000 Hz floating-point signal",
+    build_query=resampling_query,
+    build_streams=_signal_streams,
+)

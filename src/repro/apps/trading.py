@@ -1,0 +1,78 @@
+"""Stock-trading applications: trend-based trading and the relative strength index.
+
+Both queries analyse a high-frequency stock tick stream (synthetic stand-in
+for the NYSE feed) and are the first two rows of Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.frontend.query import LEFT, PAYLOAD, RIGHT, QueryNode, source
+from ..core.ir.nodes import when
+from ..core.runtime.stream import EventStream
+from ..datagen.generators import stock_price_stream
+from ..windowing.functions import MEAN
+from .base import StreamingApplication
+
+__all__ = ["trend_trading_query", "rsi_query", "TREND_TRADING", "RSI"]
+
+E = PAYLOAD
+
+
+def trend_trading_query(short_window: float = 10.0, long_window: float = 20.0) -> QueryNode:
+    """Moving-average trend detection (the paper's running example, Figure 2).
+
+    Computes a short and a long moving average of the stock price, joins them
+    into their difference and keeps only the periods where the short average
+    exceeds the long one (an upward trend).
+    """
+    stock = source("stock")
+    short_avg = stock.window(short_window, 1.0).aggregate(MEAN).named("avg_short")
+    long_avg = stock.window(long_window, 1.0).aggregate(MEAN).named("avg_long")
+    diff = short_avg.join(long_avg, LEFT - RIGHT).named("trend_diff")
+    return diff.where(E > 0).named("uptrend")
+
+
+def rsi_query(period: float = 14.0) -> QueryNode:
+    """Relative strength index over a ``period``-second trading window.
+
+    The per-tick price change is obtained by joining the price stream with a
+    one-tick-shifted copy of itself (Shift + Join); gains and losses are
+    separated with Selects, averaged over the RSI period, and combined into
+    ``RSI = 100 - 100 / (1 + avg_gain / avg_loss)``.
+    """
+    price = source("stock")
+    prev = price.shift(1.0).named("prev_price")
+    change = price.join(prev, LEFT - RIGHT).named("price_change")
+    gains = change.select(when(E > 0, E, 0.0)).named("gains")
+    losses = change.select(when(E < 0, -E, 0.0)).named("losses")
+    avg_gain = gains.window(period, 1.0).aggregate(MEAN).named("avg_gain")
+    avg_loss = losses.window(period, 1.0).aggregate(MEAN).named("avg_loss")
+    rsi = avg_gain.join(avg_loss, 100.0 - 100.0 / (1.0 + LEFT / RIGHT)).named("rsi")
+    return rsi
+
+
+def _stock_streams(num_events: int, seed: int) -> Dict[str, EventStream]:
+    return {"stock": stock_price_stream(num_events, seed=seed + 7)}
+
+
+TREND_TRADING = StreamingApplication(
+    name="trading",
+    title="Trend-based trading",
+    description="Moving average trend in stock price",
+    operators="Avg (2), Join, Where",
+    dataset="Synthetic stock ticks (NYSE stand-in)",
+    build_query=trend_trading_query,
+    build_streams=_stock_streams,
+)
+
+RSI = StreamingApplication(
+    name="rsi",
+    title="Relative strength index",
+    description="Stock price momentum indicator",
+    operators="Shift, Join, Avg (2)",
+    dataset="Synthetic stock ticks (NYSE stand-in)",
+    build_query=rsi_query,
+    build_streams=_stock_streams,
+)

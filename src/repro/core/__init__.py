@@ -1,0 +1,30 @@
+"""TiLT core: IR, frontend, lineage, optimizer, code generation and runtime."""
+
+from .codegen import CompiledQuery, Interpreter, compile_program
+from .frontend import LEFT, PAYLOAD, RIGHT, source
+from .ir import IRBuilder, TiltProgram, when
+from .lineage import BoundarySpec, resolve_boundaries
+from .optimizer import optimize
+from .runtime import Event, EventStream, SSBuf
+from .runtime.engine import QueryResult, TiltEngine
+
+__all__ = [
+    "CompiledQuery",
+    "Interpreter",
+    "compile_program",
+    "source",
+    "PAYLOAD",
+    "LEFT",
+    "RIGHT",
+    "IRBuilder",
+    "TiltProgram",
+    "when",
+    "BoundarySpec",
+    "resolve_boundaries",
+    "optimize",
+    "Event",
+    "EventStream",
+    "SSBuf",
+    "QueryResult",
+    "TiltEngine",
+]

@@ -1,0 +1,33 @@
+"""TiLT code generation and execution backends.
+
+Two execution modes share identical semantics:
+
+* the *interpreter* (:mod:`repro.core.codegen.interpreter`) materializes every
+  temporal expression one at a time — the reference implementation and the
+  "UnOpt TiLT" configuration;
+* the *compiled* backend (:mod:`repro.core.codegen.compiled`) generates
+  vectorized NumPy kernels from the (optimized, fused) program and executes
+  them with symbolic partition boundaries.
+"""
+
+from .compiled import CompiledKernel, CompiledQuery, compile_program
+from .grid import evaluation_times, evaluation_times_for_accesses, snap_to_precision
+from .interpreter import Interpreter, evaluate_expr_at, evaluate_program, evaluate_temporal_expr
+from .pysource import KernelSpec, generate_kernel_spec
+from .runtime_support import KernelRuntime
+
+__all__ = [
+    "CompiledKernel",
+    "CompiledQuery",
+    "compile_program",
+    "evaluation_times",
+    "evaluation_times_for_accesses",
+    "snap_to_precision",
+    "Interpreter",
+    "evaluate_expr_at",
+    "evaluate_program",
+    "evaluate_temporal_expr",
+    "KernelSpec",
+    "generate_kernel_spec",
+    "KernelRuntime",
+]

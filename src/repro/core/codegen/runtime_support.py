@@ -1,0 +1,130 @@
+"""Runtime support objects for generated kernels.
+
+A generated kernel is pure straight-line NumPy code; everything that cannot
+be expressed as source text — the aggregate function registry, compiled
+element-map functions, the evaluation-grid computation and the snapshot
+buffer constructors — is provided through a :class:`KernelRuntime` instance
+(`rt` in the generated source).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ...errors import ExecutionError
+from ...windowing.functions import AggregateFunction
+from ...windowing.sliding import RangeAggregator
+from ..ir.nodes import TDom
+from ..lineage.boundary import AccessPattern
+from ..runtime.ssbuf import SSBuf
+from .grid import evaluation_times_for_accesses
+
+__all__ = ["KernelRuntime"]
+
+
+class KernelRuntime:
+    """Per-kernel helper object passed to generated code as ``rt``.
+
+    Parameters
+    ----------
+    accesses:
+        Access pattern of the kernel's expression (drives the evaluation
+        grid).
+    tdom:
+        Time domain of the temporal expression (precision snapping).
+    aggregates:
+        Registry of aggregate functions, indexed by the integers embedded in
+        the generated source.
+    element_functions:
+        Compiled element-map functions (one per registered element source).
+    """
+
+    #: exposed so generated code can say ``_np = rt.np``
+    np = np
+
+    def __init__(
+        self,
+        accesses: Mapping[str, AccessPattern],
+        tdom: TDom,
+        aggregates: List[AggregateFunction],
+        element_functions: List,
+    ):
+        self.accesses = accesses
+        self.tdom = tdom
+        self.aggregates = aggregates
+        self.element_functions = element_functions
+        self._range_cache: Dict[Tuple[int, int, int], RangeAggregator] = {}
+
+    # ------------------------------------------------------------------ #
+    # hooks called from generated code
+    # ------------------------------------------------------------------ #
+    def eval_times(self, env: Mapping[str, SSBuf], t_start: float, t_end: float) -> np.ndarray:
+        """Output timestamps for the partition ``(t_start, t_end]``."""
+        self._range_cache.clear()
+        return evaluation_times_for_accesses(self.accesses, env, self.tdom, t_start, t_end)
+
+    def empty(self, t_start: float) -> SSBuf:
+        """Empty output buffer (no evaluation points in the partition)."""
+        return SSBuf.empty(t_start)
+
+    def point(
+        self, env: Mapping[str, SSBuf], ref: str, offset: float, ts: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized point access ``~ref[t + offset]`` at all output times."""
+        buf = env.get(ref)
+        if buf is None:
+            raise ExecutionError(f"unknown temporal object ~{ref}")
+        return buf.values_at(ts + offset)
+
+    def reduce(
+        self,
+        env: Mapping[str, SSBuf],
+        ref: str,
+        start_offset: float,
+        end_offset: float,
+        agg_idx: int,
+        elem_idx: int,
+        ts: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized reduction over ``~ref[t+start_offset : t+end_offset]``."""
+        buf = env.get(ref)
+        if buf is None:
+            raise ExecutionError(f"unknown temporal object ~{ref}")
+        aggregator = self._aggregator(buf, agg_idx, elem_idx)
+        return aggregator.query(ts + start_offset, ts + end_offset)
+
+    def build(self, ts: np.ndarray, values, valid, t_start: float) -> SSBuf:
+        """Assemble the output snapshot buffer from the kernel's arrays.
+
+        The buffer is not compacted: downstream reductions fold one value per
+        snapshot, so merging adjacent equal snapshots would change their
+        results.
+        """
+        values = np.broadcast_to(np.asarray(values, dtype=np.float64), ts.shape).copy()
+        valid = np.broadcast_to(np.asarray(valid, dtype=bool), ts.shape).copy()
+        return SSBuf(ts, values, valid, start_time=t_start)
+
+    # ------------------------------------------------------------------ #
+    # internal helpers
+    # ------------------------------------------------------------------ #
+    def _aggregator(self, buf: SSBuf, agg_idx: int, elem_idx: int) -> RangeAggregator:
+        key = (id(buf), agg_idx, elem_idx)
+        cached = self._range_cache.get(key)
+        if cached is not None:
+            return cached
+        agg = self.aggregates[agg_idx]
+        target = buf
+        if elem_idx >= 0:
+            element_fn = self.element_functions[elem_idx]
+            mapped_vals, mapped_ok = element_fn(buf.values, self)
+            target = SSBuf(
+                buf.times,
+                mapped_vals,
+                np.asarray(buf.valid, dtype=bool) & np.asarray(mapped_ok, dtype=bool),
+                start_time=buf.start_time,
+            )
+        aggregator = RangeAggregator(target, agg)
+        self._range_cache[key] = aggregator
+        return aggregator

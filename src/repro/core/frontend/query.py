@@ -1,0 +1,407 @@
+"""Event-centric query frontend.
+
+Users of SPEs write queries as chains of the familiar temporal operators —
+Select, Where, temporal Join, windowed aggregation, Shift, Chop (Figure 1 of
+the paper).  This module provides exactly that surface and implements the
+first stage of the TiLT pipeline (Figure 3a): translating the operator chain
+into a TiLT IR program of temporal expressions.
+
+Operator arguments are scalar IR expressions written over placeholders
+rather than Python lambdas, so the translation is purely structural:
+
+* :data:`PAYLOAD` (``E`` in the examples) — the current event's payload;
+* :data:`LEFT` / :data:`RIGHT` — the two sides of a temporal join.
+
+Example — the paper's trend-analysis query::
+
+    from repro.core.frontend import source, PAYLOAD as E, LEFT, RIGHT
+    from repro.windowing import MEAN
+
+    stock = source("stock")
+    avg10 = stock.window(10, 1).aggregate(MEAN).named("avg10")
+    avg20 = stock.window(20, 1).aggregate(MEAN).named("avg20")
+    trend = avg10.join(avg20, LEFT - RIGHT).where(E > 0)
+    program = trend.to_program()
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ...errors import QueryBuildError
+from ...windowing.functions import (
+    COUNT,
+    MAX,
+    MEAN,
+    MIN,
+    STDDEV,
+    SUM,
+    VARIANCE,
+    AggregateFunction,
+)
+from ..ir.builder import IRBuilder
+from ..ir.nodes import (
+    Expr,
+    IsValid,
+    Phi,
+    IfThenElse,
+    TDom,
+    TiltProgram,
+    TRef,
+    Var,
+    lift,
+    when,
+)
+from ..optimizer.rewrite import substitute_vars
+
+__all__ = [
+    "PAYLOAD",
+    "LEFT",
+    "RIGHT",
+    "QueryNode",
+    "source",
+    "Select",
+    "Where",
+    "Shift",
+    "Chop",
+    "WindowAggregate",
+    "Join",
+]
+
+#: Placeholder for the current event payload in Select/Where expressions.
+PAYLOAD = Var("%payload")
+#: Placeholders for the two sides of a temporal Join expression.
+LEFT = Var("%left")
+RIGHT = Var("%right")
+
+
+class QueryNode:
+    """Base class of frontend operator nodes.
+
+    A node is an immutable description of one temporal operator applied to
+    one or two upstream nodes; chaining methods build the operator DAG and
+    :meth:`to_program` translates the DAG rooted at this node into a
+    :class:`~repro.core.ir.nodes.TiltProgram`.
+    """
+
+    def __init__(self, parents: Sequence["QueryNode"], name: Optional[str] = None):
+        self.parents: Tuple["QueryNode", ...] = tuple(parents)
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # fluent operator API
+    # ------------------------------------------------------------------ #
+    def named(self, name: str) -> "QueryNode":
+        """Give this operator's output temporal object an explicit name."""
+        self.name = name
+        return self
+
+    def select(self, expr: Union[Expr, float]) -> "Select":
+        """Per-event projection: transform the payload with ``expr`` over :data:`PAYLOAD`."""
+        return Select(self, lift(expr))
+
+    def where(self, predicate: Union[Expr, bool]) -> "Where":
+        """Per-event filter: keep events whose payload satisfies ``predicate``."""
+        return Where(self, lift(predicate))
+
+    def shift(self, delay: float) -> "Shift":
+        """Delay the stream by ``delay`` seconds (the Shift operator)."""
+        return Shift(self, delay)
+
+    def chop(self, period: float) -> "Chop":
+        """Chop event intervals at multiples of ``period`` seconds."""
+        return Chop(self, period)
+
+    def window(self, size: float, stride: Optional[float] = None) -> "WindowSpec":
+        """Start a windowed aggregation: ``.window(size, stride).aggregate(...)``."""
+        return WindowSpec(self, size, size if stride is None else stride)
+
+    def join(self, other: "QueryNode", expr: Union[Expr, float]) -> "Join":
+        """Temporal join: output exists where both inputs have events, with a
+        payload computed by ``expr`` over :data:`LEFT` / :data:`RIGHT`."""
+        return Join(self, other, lift(expr))
+
+    def coalesce(self, other: "QueryNode") -> "CoalesceJoin":
+        """Left-preferring temporal merge: this stream's value where it has
+        events, ``other``'s value in the gaps (used by the imputation query)."""
+        return CoalesceJoin(self, other)
+
+    # common aggregation shortcuts ------------------------------------- #
+    def sum(self, size: float, stride: Optional[float] = None) -> "WindowAggregate":
+        return self.window(size, stride).aggregate(SUM)
+
+    def count(self, size: float, stride: Optional[float] = None) -> "WindowAggregate":
+        return self.window(size, stride).aggregate(COUNT)
+
+    def mean(self, size: float, stride: Optional[float] = None) -> "WindowAggregate":
+        return self.window(size, stride).aggregate(MEAN)
+
+    def stddev(self, size: float, stride: Optional[float] = None) -> "WindowAggregate":
+        return self.window(size, stride).aggregate(STDDEV)
+
+    def max(self, size: float, stride: Optional[float] = None) -> "WindowAggregate":
+        return self.window(size, stride).aggregate(MAX)
+
+    def min(self, size: float, stride: Optional[float] = None) -> "WindowAggregate":
+        return self.window(size, stride).aggregate(MIN)
+
+    # ------------------------------------------------------------------ #
+    # translation
+    # ------------------------------------------------------------------ #
+    def to_program(self, output_name: Optional[str] = None) -> TiltProgram:
+        """Translate the operator DAG rooted at this node into TiLT IR."""
+        builder = IRBuilder()
+        translated: Dict[int, TRef] = {}
+        out_ref = self._translate_cached(builder, translated)
+        if output_name is not None and output_name != out_ref.name:
+            builder.define(output_name, out_ref.at(0.0))
+            return builder.build(output=output_name)
+        return builder.build(output=out_ref.name)
+
+    def _translate_cached(self, builder: IRBuilder, memo: Dict[int, TRef]) -> TRef:
+        key = id(self)
+        if key not in memo:
+            memo[key] = self._translate(builder, memo)
+        return memo[key]
+
+    # subclasses implement -------------------------------------------- #
+    def _translate(self, builder: IRBuilder, memo: Dict[int, TRef]) -> TRef:
+        raise NotImplementedError
+
+    def _result_name(self, builder: IRBuilder, prefix: str) -> str:
+        return self.name if self.name else builder.fresh_name(prefix)
+
+    def describe(self) -> str:
+        """Short operator description (used in logs and tests)."""
+        return type(self).__name__
+
+    def operator_chain(self) -> List[str]:
+        """Flattened list of operator descriptions (depth-first)."""
+        ops: List[str] = []
+        for parent in self.parents:
+            ops.extend(parent.operator_chain())
+        ops.append(self.describe())
+        return ops
+
+
+class StreamSource(QueryNode):
+    """Leaf node: an input data stream (optionally one field of a structured stream)."""
+
+    def __init__(self, stream: str, field: Optional[str] = None):
+        super().__init__(parents=())
+        self.stream = stream
+        self.field = field
+
+    def _translate(self, builder: IRBuilder, memo: Dict[int, TRef]) -> TRef:
+        return builder.stream(self.stream, self.field)
+
+    def describe(self) -> str:
+        suffix = f".{self.field}" if self.field else ""
+        return f"Source({self.stream}{suffix})"
+
+
+def source(stream: str, field: Optional[str] = None) -> StreamSource:
+    """Declare an input stream (one field of it for structured streams)."""
+    return StreamSource(stream, field)
+
+
+class Select(QueryNode):
+    """Per-event projection (Figure 1a)."""
+
+    def __init__(self, parent: QueryNode, expr: Expr, name: Optional[str] = None):
+        super().__init__(parents=(parent,), name=name)
+        self.expr = expr
+
+    def _translate(self, builder: IRBuilder, memo: Dict[int, TRef]) -> TRef:
+        upstream = self.parents[0]._translate_cached(builder, memo)
+        body = substitute_vars(self.expr, {PAYLOAD.name: upstream.at(0.0)})
+        return builder.define(self._result_name(builder, "select"), body)
+
+    def describe(self) -> str:
+        return "Select"
+
+
+class Where(QueryNode):
+    """Per-event filter (Figure 1b): events failing the predicate become φ."""
+
+    def __init__(self, parent: QueryNode, predicate: Expr, name: Optional[str] = None):
+        super().__init__(parents=(parent,), name=name)
+        self.predicate = predicate
+
+    def _translate(self, builder: IRBuilder, memo: Dict[int, TRef]) -> TRef:
+        upstream = self.parents[0]._translate_cached(builder, memo)
+        value = upstream.at(0.0)
+        cond = substitute_vars(self.predicate, {PAYLOAD.name: value})
+        body = when(cond, value)
+        return builder.define(self._result_name(builder, "where"), body)
+
+    def describe(self) -> str:
+        return "Where"
+
+
+class Shift(QueryNode):
+    """Delay the stream by a fixed number of seconds."""
+
+    def __init__(self, parent: QueryNode, delay: float, name: Optional[str] = None):
+        super().__init__(parents=(parent,), name=name)
+        if delay < 0:
+            raise QueryBuildError("shift delay must be non-negative")
+        self.delay = float(delay)
+
+    def _translate(self, builder: IRBuilder, memo: Dict[int, TRef]) -> TRef:
+        upstream = self.parents[0]._translate_cached(builder, memo)
+        return builder.define(self._result_name(builder, "shift"), upstream.at(-self.delay))
+
+    def describe(self) -> str:
+        return f"Shift({self.delay:g})"
+
+
+class Chop(QueryNode):
+    """Chop event validity intervals at multiples of ``period`` seconds.
+
+    In the time-centric model chopping does not change the value of the
+    temporal object at any time point — it only constrains where the output's
+    snapshots may lie, i.e. it is the identity expression on a time domain
+    with precision ``period``.
+    """
+
+    def __init__(self, parent: QueryNode, period: float, name: Optional[str] = None):
+        super().__init__(parents=(parent,), name=name)
+        if period <= 0:
+            raise QueryBuildError("chop period must be positive")
+        self.period = float(period)
+
+    def _translate(self, builder: IRBuilder, memo: Dict[int, TRef]) -> TRef:
+        upstream = self.parents[0]._translate_cached(builder, memo)
+        return builder.define(
+            self._result_name(builder, "chop"), upstream.at(0.0), precision=self.period
+        )
+
+    def describe(self) -> str:
+        return f"Chop({self.period:g})"
+
+
+@dataclass
+class WindowSpec:
+    """Intermediate object returned by :meth:`QueryNode.window`."""
+
+    parent: QueryNode
+    size: float
+    stride: float
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.stride <= 0:
+            raise QueryBuildError("window size and stride must be positive")
+
+    def aggregate(self, agg: AggregateFunction, element: Optional[Expr] = None) -> "WindowAggregate":
+        """Apply a (built-in or custom) reduction over the window."""
+        return WindowAggregate(self.parent, self.size, self.stride, agg, element)
+
+    # convenience spellings
+    def sum(self) -> "WindowAggregate":
+        return self.aggregate(SUM)
+
+    def count(self) -> "WindowAggregate":
+        return self.aggregate(COUNT)
+
+    def mean(self) -> "WindowAggregate":
+        return self.aggregate(MEAN)
+
+    def stddev(self) -> "WindowAggregate":
+        return self.aggregate(STDDEV)
+
+    def variance(self) -> "WindowAggregate":
+        return self.aggregate(VARIANCE)
+
+    def max(self) -> "WindowAggregate":
+        return self.aggregate(MAX)
+
+    def min(self) -> "WindowAggregate":
+        return self.aggregate(MIN)
+
+
+class WindowAggregate(QueryNode):
+    """Sliding/tumbling window aggregation (Figure 1d).
+
+    ``element`` optionally maps each event payload (over :data:`PAYLOAD`)
+    before it enters the aggregate — the hook used by custom aggregations
+    such as "sum of squared samples".
+    """
+
+    def __init__(
+        self,
+        parent: QueryNode,
+        size: float,
+        stride: float,
+        agg: AggregateFunction,
+        element: Optional[Expr] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(parents=(parent,), name=name)
+        self.size = float(size)
+        self.stride = float(stride)
+        self.agg = agg
+        self.element = element
+
+    def _translate(self, builder: IRBuilder, memo: Dict[int, TRef]) -> TRef:
+        from ..ir.nodes import ELEM_VAR  # local import to avoid cycle noise
+
+        upstream = self.parents[0]._translate_cached(builder, memo)
+        element = None
+        if self.element is not None:
+            element = substitute_vars(self.element, {PAYLOAD.name: Var(ELEM_VAR)})
+        body = upstream.window(-self.size, 0.0).reduce(self.agg, element)
+        return builder.define(
+            self._result_name(builder, f"w{self.agg.name}"), body, precision=self.stride
+        )
+
+    def describe(self) -> str:
+        return f"Window({self.size:g},{self.stride:g}).{self.agg.name}"
+
+
+class CoalesceJoin(QueryNode):
+    """Left-preferring temporal merge of two streams.
+
+    The output at any time is the left input's value when the left input has
+    an active event, and the right input's value otherwise.  In TiLT IR this
+    is a single ``Coalesce`` expression; event-centric engines implement it
+    as a left-outer interval merge.
+    """
+
+    def __init__(self, left: QueryNode, right: QueryNode, name: Optional[str] = None):
+        super().__init__(parents=(left, right), name=name)
+
+    def _translate(self, builder: IRBuilder, memo: Dict[int, TRef]) -> TRef:
+        from ..ir.nodes import Coalesce
+
+        left = self.parents[0]._translate_cached(builder, memo)
+        right = self.parents[1]._translate_cached(builder, memo)
+        body = Coalesce(left.at(0.0), right.at(0.0))
+        return builder.define(self._result_name(builder, "coalesce"), body)
+
+    def describe(self) -> str:
+        return "Coalesce"
+
+
+class Join(QueryNode):
+    """Temporal (interval-intersection) join of two streams (Figure 1c)."""
+
+    def __init__(
+        self, left: QueryNode, right: QueryNode, expr: Expr, name: Optional[str] = None
+    ):
+        super().__init__(parents=(left, right), name=name)
+        self.expr = expr
+
+    def _translate(self, builder: IRBuilder, memo: Dict[int, TRef]) -> TRef:
+        left = self.parents[0]._translate_cached(builder, memo)
+        right = self.parents[1]._translate_cached(builder, memo)
+        lval = left.at(0.0)
+        rval = right.at(0.0)
+        payload = substitute_vars(self.expr, {LEFT.name: lval, RIGHT.name: rval})
+        body = IfThenElse(IsValid(lval) & IsValid(rval), payload, Phi())
+        return builder.define(self._result_name(builder, "join"), body)
+
+    def describe(self) -> str:
+        return "Join"

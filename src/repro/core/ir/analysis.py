@@ -1,0 +1,214 @@
+"""Static analyses over TiLT IR expressions and programs.
+
+These helpers answer the structural questions the rest of the compiler needs:
+
+* which temporal objects does an expression reference, and with what point
+  offsets / window extents (the raw material of boundary resolution);
+* the dependency graph between the temporal expressions of a program and a
+  topological evaluation order;
+* whether an expression contains a reduction (a "pipeline breaker" in the
+  event-centric terminology of Section 3);
+* the set of free scalar variables (used to check Let scoping).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Set, Tuple
+
+from ...errors import ValidationError
+from .nodes import (
+    ELEM_VAR,
+    Expr,
+    Let,
+    Reduce,
+    TIndex,
+    TRef,
+    TWindow,
+    TemporalExpr,
+    TiltProgram,
+    Var,
+)
+from .visitor import ExprVisitor
+
+__all__ = [
+    "referenced_streams",
+    "reference_extents",
+    "contains_reduce",
+    "free_variables",
+    "dependency_graph",
+    "topological_order",
+    "count_nodes",
+]
+
+
+class _StreamRefCollector(ExprVisitor):
+    def __init__(self) -> None:
+        self.refs: "OrderedDict[str, None]" = OrderedDict()
+
+    def visit_tref(self, node: TRef) -> None:
+        self.refs.setdefault(node.name)
+
+    def visit_tindex(self, node: TIndex) -> None:
+        self.refs.setdefault(node.ref)
+
+    def visit_twindow(self, node: TWindow) -> None:
+        self.refs.setdefault(node.ref)
+
+    def visit_reduce(self, node: Reduce) -> None:
+        self.visit(node.window)
+        if node.element is not None:
+            self.visit(node.element)
+
+
+def referenced_streams(expr: Expr) -> List[str]:
+    """Names of all temporal objects referenced by ``expr`` (in first-use order)."""
+    collector = _StreamRefCollector()
+    collector.visit(expr)
+    return list(collector.refs.keys())
+
+
+class _ExtentCollector(ExprVisitor):
+    """Collect, per referenced temporal object, the (min, max) time offsets accessed."""
+
+    def __init__(self) -> None:
+        self.extents: Dict[str, Tuple[float, float]] = {}
+
+    def _update(self, name: str, lo: float, hi: float) -> None:
+        cur = self.extents.get(name)
+        if cur is None:
+            self.extents[name] = (lo, hi)
+        else:
+            self.extents[name] = (min(cur[0], lo), max(cur[1], hi))
+
+    def visit_tref(self, node: TRef) -> None:
+        self._update(node.name, 0.0, 0.0)
+
+    def visit_tindex(self, node: TIndex) -> None:
+        self._update(node.ref, node.offset, node.offset)
+
+    def visit_twindow(self, node: TWindow) -> None:
+        self._update(node.ref, node.start_offset, node.end_offset)
+
+    def visit_reduce(self, node: Reduce) -> None:
+        self.visit(node.window)
+        if node.element is not None:
+            self.visit(node.element)
+
+
+def reference_extents(expr: Expr) -> Dict[str, Tuple[float, float]]:
+    """For every referenced temporal object, the range of time offsets accessed.
+
+    A point access ``~x[t + o]`` contributes ``(o, o)``; a window
+    ``~x[t+a : t+b]`` contributes ``(a, b)``.  These per-expression extents
+    compose along the dependency chain into the temporal lineage used by
+    boundary resolution (Section 5.1).
+    """
+    collector = _ExtentCollector()
+    collector.visit(expr)
+    return collector.extents
+
+
+class _ReduceDetector(ExprVisitor):
+    def __init__(self) -> None:
+        self.found = False
+
+    def visit_reduce(self, node: Reduce) -> None:
+        self.found = True
+
+
+def contains_reduce(expr: Expr) -> bool:
+    """True when the expression contains a reduction (a pipeline breaker)."""
+    detector = _ReduceDetector()
+    detector.visit(expr)
+    return detector.found
+
+
+class _FreeVarCollector(ExprVisitor):
+    def __init__(self) -> None:
+        self.free: Set[str] = set()
+        self._bound: List[str] = []
+
+    def visit_var(self, node: Var) -> None:
+        if node.name not in self._bound and node.name != ELEM_VAR:
+            self.free.add(node.name)
+
+    def visit_let(self, node: Let) -> None:
+        # bindings are evaluated sequentially; each may refer to earlier ones
+        added = 0
+        for name, value in node.bindings:
+            self.visit(value)
+            self._bound.append(name)
+            added += 1
+        self.visit(node.body)
+        del self._bound[-added:]
+
+    def visit_reduce(self, node: Reduce) -> None:
+        if node.element is not None:
+            self.visit(node.element)
+
+
+def free_variables(expr: Expr) -> Set[str]:
+    """Scalar variables used but not bound by an enclosing Let."""
+    collector = _FreeVarCollector()
+    collector.visit(expr)
+    return collector.free
+
+
+def dependency_graph(program: TiltProgram) -> Dict[str, List[str]]:
+    """Map every temporal expression name to the expression names it depends on.
+
+    Input streams are not included in the dependency lists.
+    """
+    defined = set(program.defined_names())
+    graph: Dict[str, List[str]] = {}
+    for te in program.exprs:
+        deps = [r for r in referenced_streams(te.expr) if r in defined and r != te.name]
+        graph[te.name] = deps
+    return graph
+
+
+def topological_order(program: TiltProgram) -> List[str]:
+    """Evaluation order of the program's temporal expressions.
+
+    Raises :class:`ValidationError` if the dependency graph has a cycle.
+    """
+    graph = dependency_graph(program)
+    order: List[str] = []
+    state: Dict[str, int] = {}  # 0 = unvisited, 1 = visiting, 2 = done
+
+    def visit(name: str) -> None:
+        if state.get(name) == 2:
+            return
+        if state.get(name) == 1:
+            raise ValidationError(f"cyclic dependency through temporal expression {name!r}")
+        state[name] = 1
+        for dep in graph.get(name, []):
+            visit(dep)
+        state[name] = 2
+        order.append(name)
+
+    for te in program.exprs:
+        visit(te.name)
+    return order
+
+
+class _NodeCounter(ExprVisitor):
+    def __init__(self) -> None:
+        self.count = 0
+
+    def visit(self, node: Expr) -> None:  # type: ignore[override]
+        self.count += 1
+        super().visit(node)
+
+    def visit_reduce(self, node: Reduce) -> None:
+        self.visit(node.window)
+        if node.element is not None:
+            self.visit(node.element)
+
+
+def count_nodes(expr: Expr) -> int:
+    """Number of IR nodes in an expression tree (used by tests and reports)."""
+    counter = _NodeCounter()
+    counter.visit(expr)
+    return counter.count

@@ -1,0 +1,155 @@
+"""Fluent builder for TiLT IR programs.
+
+The builder is the lowest-level public way to author a query: you declare
+input temporal objects, define named temporal expressions over them, and
+finally build an immutable :class:`~repro.core.ir.nodes.TiltProgram`.  The
+event-centric frontend (``repro.core.frontend``) is a thin layer that emits
+builder calls, mirroring the "translation to TiLT IR form" stage of
+Figure 3a.
+
+Example — the paper's trend-analysis query written directly in IR form::
+
+    from repro.core.ir import IRBuilder, when
+    from repro.windowing import SUM
+
+    b = IRBuilder()
+    stock = b.stream("stock")
+    avg10 = b.define("avg10", stock.window(-10, 0).reduce(SUM) / 10.0, precision=1)
+    avg20 = b.define("avg20", stock.window(-20, 0).reduce(SUM) / 20.0, precision=1)
+    join = b.define("join", when(avg10.at().is_valid() & avg20.at().is_valid(),
+                                 avg10.at() - avg20.at()), precision=1)
+    b.define("filter", when(join.at() > 0, join.at()), precision=1)
+    program = b.build(output="filter")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+from ...errors import QueryBuildError
+from .nodes import (
+    INFINITY,
+    Expr,
+    TDom,
+    TIndex,
+    TRef,
+    TemporalExpr,
+    TiltProgram,
+    lift,
+)
+from .validation import validate_program
+from .visitor import ExprTransformer
+
+__all__ = ["IRBuilder", "normalize_expr"]
+
+
+class _TRefNormalizer(ExprTransformer):
+    """Replace bare temporal-object references used in scalar position with
+    an explicit point access ``~ref[t]`` (TIndex with offset 0)."""
+
+    def visit_tref(self, node: TRef) -> TIndex:
+        return TIndex(node.name, 0.0)
+
+
+def normalize_expr(expr: Expr) -> Expr:
+    """Normalize an expression (currently: bare TRef → ``~ref[t]``)."""
+    return _TRefNormalizer().visit(lift(expr))
+
+
+class IRBuilder:
+    """Incrementally assemble a :class:`TiltProgram`.
+
+    Parameters
+    ----------
+    default_precision:
+        Precision used for time domains when :meth:`define` is called without
+        an explicit one.  ``0`` means "continuous": the output changes exactly
+        when its inputs change.
+    """
+
+    def __init__(self, default_precision: float = 0.0):
+        self._inputs: List[str] = []
+        self._exprs: List[TemporalExpr] = []
+        self._names: Dict[str, None] = {}
+        self._default_precision = float(default_precision)
+        self._anon_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # declaration API
+    # ------------------------------------------------------------------ #
+    def stream(self, name: str, field: Optional[str] = None) -> TRef:
+        """Declare (or re-reference) an input temporal object.
+
+        For structured streams, pass ``field`` to reference one payload
+        column; the resulting temporal object is named ``"<name>.<field>"``,
+        matching the column naming of
+        :func:`repro.core.runtime.ssbuf.ssbufs_from_stream`.
+        """
+        full = f"{name}.{field}" if field else name
+        if full in self._names:
+            raise QueryBuildError(f"name {full!r} is already used by a temporal expression")
+        if full not in self._inputs:
+            self._inputs.append(full)
+        return TRef(full)
+
+    def define(
+        self,
+        name: str,
+        expr: Union[Expr, float, int],
+        *,
+        precision: Optional[float] = None,
+        tdom: Optional[TDom] = None,
+    ) -> TRef:
+        """Define a named temporal expression and return a reference to it.
+
+        ``precision`` (or a full ``tdom``) controls how often the output may
+        change; when omitted the builder default applies.  The returned
+        :class:`TRef` can be indexed, windowed or shifted in later
+        definitions.
+        """
+        if name in self._names or name in self._inputs:
+            raise QueryBuildError(f"temporal expression name {name!r} is already in use")
+        if tdom is None:
+            prec = self._default_precision if precision is None else float(precision)
+            tdom = TDom(-INFINITY, INFINITY, prec)
+        elif precision is not None:
+            raise QueryBuildError("pass either precision or tdom, not both")
+        body = normalize_expr(lift(expr))
+        self._exprs.append(TemporalExpr(name, tdom, body))
+        self._names[name] = None
+        return TRef(name)
+
+    def fresh_name(self, prefix: str = "tmp") -> str:
+        """Generate a unique temporary name (used by the frontend translator)."""
+        while True:
+            self._anon_counter += 1
+            candidate = f"{prefix}_{self._anon_counter}"
+            if candidate not in self._names and candidate not in self._inputs:
+                return candidate
+
+    # ------------------------------------------------------------------ #
+    # introspection / build
+    # ------------------------------------------------------------------ #
+    @property
+    def inputs(self) -> List[str]:
+        """Declared input stream names (in declaration order)."""
+        return list(self._inputs)
+
+    @property
+    def definitions(self) -> List[str]:
+        """Names of the temporal expressions defined so far."""
+        return [te.name for te in self._exprs]
+
+    def build(self, output: Optional[str] = None, *, validate: bool = True) -> TiltProgram:
+        """Finalize the program.
+
+        ``output`` defaults to the most recently defined expression.  The
+        program is validated unless ``validate=False``.
+        """
+        if not self._exprs:
+            raise QueryBuildError("cannot build a program with no temporal expressions")
+        out = output or self._exprs[-1].name
+        program = TiltProgram(tuple(self._inputs), tuple(self._exprs), out)
+        if validate:
+            validate_program(program)
+        return program

@@ -1,0 +1,117 @@
+"""Textual pretty-printer for TiLT IR.
+
+Renders programs in a notation close to the paper's (Figure 3), e.g.::
+
+    t = TDom(-inf, inf, 1)
+    ~sum10[t] = reduce(sum, ~stock[t-10 : t])
+    ~avg10[t] = (~sum10[t] / 10)
+    ...
+    output: ~filter
+
+The printer is used for debugging, for golden tests of the optimizer passes,
+and by ``TiltProgram``-level logging in the engine.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from .nodes import (
+    BinOp,
+    Call,
+    Coalesce,
+    Const,
+    Expr,
+    IfThenElse,
+    IsValid,
+    Let,
+    Phi,
+    Reduce,
+    TDom,
+    TIndex,
+    TRef,
+    TWindow,
+    TemporalExpr,
+    TiltProgram,
+    UnaryOp,
+    Var,
+)
+
+__all__ = ["format_expr", "format_tdom", "format_temporal_expr", "format_program"]
+
+
+def _fmt_num(x: float) -> str:
+    if math.isinf(x):
+        return "inf" if x > 0 else "-inf"
+    if float(x).is_integer():
+        return str(int(x))
+    return f"{x:g}"
+
+
+def _fmt_offset(offset: float) -> str:
+    if offset == 0:
+        return "t"
+    sign = "+" if offset > 0 else "-"
+    return f"t{sign}{_fmt_num(abs(offset))}"
+
+
+def format_expr(expr: Expr) -> str:
+    """Render a scalar TiLT IR expression as a single-line string."""
+    if isinstance(expr, Const):
+        return _fmt_num(expr.value)
+    if isinstance(expr, Phi):
+        return "φ"
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, TRef):
+        return f"~{expr.name}[t]"
+    if isinstance(expr, TIndex):
+        return f"~{expr.ref}[{_fmt_offset(expr.offset)}]"
+    if isinstance(expr, TWindow):
+        return f"~{expr.ref}[{_fmt_offset(expr.start_offset)} : {_fmt_offset(expr.end_offset)}]"
+    if isinstance(expr, Reduce):
+        inner = format_expr(expr.window)
+        if expr.element is not None:
+            return f"reduce({expr.agg.name}, {inner}, elem => {format_expr(expr.element)})"
+        return f"reduce({expr.agg.name}, {inner})"
+    if isinstance(expr, BinOp):
+        return f"({format_expr(expr.lhs)} {expr.op} {format_expr(expr.rhs)})"
+    if isinstance(expr, UnaryOp):
+        return f"{expr.op}({format_expr(expr.operand)})"
+    if isinstance(expr, IfThenElse):
+        return (
+            f"({format_expr(expr.cond)} ? {format_expr(expr.then)} : {format_expr(expr.orelse)})"
+        )
+    if isinstance(expr, IsValid):
+        return f"({format_expr(expr.operand)} != φ)"
+    if isinstance(expr, Coalesce):
+        return f"coalesce({format_expr(expr.operand)}, {format_expr(expr.default)})"
+    if isinstance(expr, Call):
+        args = ", ".join(format_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, Let):
+        lines = [f"{name} = {format_expr(value)}" for name, value in expr.bindings]
+        body = format_expr(expr.body)
+        return "{ " + "; ".join(lines) + f"; return {body} " + "}"
+    raise TypeError(f"cannot format node of type {type(expr).__name__}")
+
+
+def format_tdom(tdom: TDom) -> str:
+    """Render a time domain."""
+    return f"TDom({_fmt_num(tdom.start)}, {_fmt_num(tdom.end)}, {_fmt_num(tdom.precision)})"
+
+
+def format_temporal_expr(te: TemporalExpr) -> str:
+    """Render ``~name[t] = expr`` with its time domain."""
+    return f"~{te.name}[t] = {format_expr(te.expr)}    # over {format_tdom(te.tdom)}"
+
+
+def format_program(program: TiltProgram) -> str:
+    """Render a whole TiLT program in evaluation order."""
+    lines: List[str] = []
+    lines.append("inputs: " + ", ".join(f"~{name}" for name in program.inputs))
+    for te in program.exprs:
+        lines.append(format_temporal_expr(te))
+    lines.append(f"output: ~{program.output}")
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Structural validation of TiLT IR programs.
+
+Run automatically before boundary resolution and compilation; every rule
+reports a precise error message so that frontend bugs surface as
+:class:`~repro.errors.ValidationError` rather than as wrong results.
+
+Checks performed:
+
+* the output name is defined and all definition names are unique;
+* no definition shadows an input stream;
+* every referenced temporal object is an input or an expression defined
+  *earlier* in the program (the DAG is ordered);
+* there are no cyclic dependencies;
+* windowed temporal objects (``~x[a:b]``) only appear as Reduce operands;
+* no free scalar variables escape their Let scope;
+* reduce element expressions only reference the element variable and
+  let-bound scalars (not temporal objects).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ...errors import ValidationError
+from .analysis import free_variables, referenced_streams, topological_order
+from .nodes import (
+    ELEM_VAR,
+    BinOp,
+    Call,
+    Coalesce,
+    Expr,
+    IfThenElse,
+    IsValid,
+    Let,
+    Phi,
+    Reduce,
+    TIndex,
+    TRef,
+    TWindow,
+    TemporalExpr,
+    TiltProgram,
+)
+
+__all__ = ["validate_program", "validate_expr"]
+
+
+def _check_windows_only_under_reduce(expr: Expr, path: str) -> None:
+    if isinstance(expr, TWindow):
+        raise ValidationError(
+            f"{path}: windowed temporal object ~{expr.ref}[...] may only be used "
+            "as the operand of a reduction"
+        )
+    if isinstance(expr, Reduce):
+        # the window operand is legal here; only check the element expression
+        if expr.element is not None:
+            _check_windows_only_under_reduce(expr.element, path)
+        return
+    for child in expr.children():
+        _check_windows_only_under_reduce(child, path)
+
+
+def _check_reduce_elements(expr: Expr, path: str) -> None:
+    if isinstance(expr, Reduce) and expr.element is not None:
+        refs = referenced_streams(expr.element)
+        if refs:
+            raise ValidationError(
+                f"{path}: reduce element expression may not reference temporal objects "
+                f"(found {refs})"
+            )
+    for child in expr.children():
+        _check_reduce_elements(child, path)
+
+
+def validate_expr(expr: Expr, path: str = "<expr>") -> None:
+    """Validate a standalone scalar expression."""
+    _check_windows_only_under_reduce(expr, path)
+    _check_reduce_elements(expr, path)
+    free = free_variables(expr)
+    if free:
+        raise ValidationError(f"{path}: unbound scalar variables {sorted(free)}")
+
+
+def validate_program(program: TiltProgram) -> None:
+    """Validate a full TiLT program; raises :class:`ValidationError` on failure."""
+    names: List[str] = []
+    inputs: Set[str] = set(program.inputs)
+    if not program.exprs:
+        raise ValidationError("program has no temporal expressions")
+
+    defined: Set[str] = set()
+    for te in program.exprs:
+        if te.name in defined:
+            raise ValidationError(f"temporal expression ~{te.name} is defined twice")
+        if te.name in inputs:
+            raise ValidationError(f"temporal expression ~{te.name} shadows an input stream")
+        path = f"~{te.name}"
+        validate_expr(te.expr, path)
+        for ref in referenced_streams(te.expr):
+            if ref not in inputs and ref not in defined:
+                raise ValidationError(
+                    f"{path}: references ~{ref} which is neither an input nor defined earlier"
+                )
+        defined.add(te.name)
+        names.append(te.name)
+
+    if program.output not in defined:
+        raise ValidationError(f"output ~{program.output} is not defined by the program")
+
+    # also verifies acyclicity (should be guaranteed by the ordering check above)
+    topological_order(program)

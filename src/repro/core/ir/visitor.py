@@ -1,0 +1,105 @@
+"""Visitor and transformer infrastructure for TiLT IR expressions.
+
+Two base classes are provided:
+
+* :class:`ExprVisitor` — read-only traversal with per-node-type dispatch
+  (``visit_binop``, ``visit_reduce``, ...).  Unhandled node types fall back
+  to :meth:`ExprVisitor.generic_visit`, which simply recurses into children.
+* :class:`ExprTransformer` — rebuilding traversal.  Each ``visit_*`` method
+  returns a (possibly new) expression; the default behaviour reconstructs the
+  node with transformed children, preserving structural sharing where nothing
+  changed.
+
+Optimizer passes, the boundary-resolution analysis, the printers and the code
+generator are all written on top of these.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .nodes import (
+    BinOp,
+    Call,
+    Coalesce,
+    Const,
+    Expr,
+    IfThenElse,
+    IsValid,
+    Let,
+    Phi,
+    Reduce,
+    TIndex,
+    TRef,
+    TWindow,
+    UnaryOp,
+    Var,
+)
+
+__all__ = ["ExprVisitor", "ExprTransformer"]
+
+
+def _method_name(node: Expr) -> str:
+    return "visit_" + type(node).__name__.lower()
+
+
+class ExprVisitor:
+    """Read-only expression traversal with type-based dispatch."""
+
+    def visit(self, node: Expr) -> Any:
+        """Dispatch to ``visit_<nodetype>`` or :meth:`generic_visit`."""
+        method = getattr(self, _method_name(node), None)
+        if method is None:
+            return self.generic_visit(node)
+        return method(node)
+
+    def generic_visit(self, node: Expr) -> Any:
+        """Default: visit all children, return None."""
+        for child in node.children():
+            self.visit(child)
+        return None
+
+
+class ExprTransformer:
+    """Rebuilding expression traversal.
+
+    Subclasses override ``visit_<nodetype>`` methods to replace nodes;
+    anything not overridden is reconstructed with transformed children.
+    """
+
+    def visit(self, node: Expr) -> Expr:
+        method = getattr(self, _method_name(node), None)
+        if method is not None:
+            return method(node)
+        return self.generic_visit(node)
+
+    # ------------------------------------------------------------------ #
+    # default reconstruction per node type
+    # ------------------------------------------------------------------ #
+    def generic_visit(self, node: Expr) -> Expr:
+        if isinstance(node, (Const, Phi, Var, TRef, TIndex, TWindow)):
+            return node
+        if isinstance(node, Let):
+            bindings = tuple((name, self.visit(value)) for name, value in node.bindings)
+            body = self.visit(node.body)
+            return Let(bindings, body)
+        if isinstance(node, Reduce):
+            element = self.visit(node.element) if node.element is not None else None
+            window = self.visit(node.window)
+            if not isinstance(window, TWindow):
+                # a transformer may not change a window into a scalar
+                window = node.window
+            return Reduce(node.agg, window, element)
+        if isinstance(node, BinOp):
+            return BinOp(node.op, self.visit(node.lhs), self.visit(node.rhs))
+        if isinstance(node, UnaryOp):
+            return UnaryOp(node.op, self.visit(node.operand))
+        if isinstance(node, IfThenElse):
+            return IfThenElse(self.visit(node.cond), self.visit(node.then), self.visit(node.orelse))
+        if isinstance(node, IsValid):
+            return IsValid(self.visit(node.operand))
+        if isinstance(node, Coalesce):
+            return Coalesce(self.visit(node.operand), self.visit(node.default))
+        if isinstance(node, Call):
+            return Call(node.func, tuple(self.visit(a) for a in node.args))
+        raise TypeError(f"unknown IR node type: {type(node).__name__}")

@@ -1,0 +1,17 @@
+"""Temporal lineage analysis and boundary resolution (Section 5.1)."""
+
+from .boundary import (
+    AccessPattern,
+    BoundarySpec,
+    collect_accesses,
+    compose_extents,
+    resolve_boundaries,
+)
+
+__all__ = [
+    "AccessPattern",
+    "BoundarySpec",
+    "collect_accesses",
+    "compose_extents",
+    "resolve_boundaries",
+]

@@ -1,0 +1,196 @@
+"""Temporal lineage and boundary resolution (Section 5.1 of the paper).
+
+The time-centric IR makes the data dependency of every output time point
+explicit: ``~filter[T]`` in the trend query only depends on ``~stock`` over
+``(T-20, T]``.  This module composes those per-expression access extents
+along the dependency chain of a program ("temporal lineage") and produces a
+:class:`BoundarySpec`: for every *input* stream, the maximum lookback and
+lookahead margin an arbitrary output interval ``(Ts, Te]`` requires.
+
+The boundary spec is what makes synchronization-free parallel execution
+possible (Section 6.2): the partitioner hands each worker an output interval
+plus input slices extended by exactly these margins, so no two workers ever
+need to exchange state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ...errors import BoundaryResolutionError
+from ..ir.analysis import reference_extents, topological_order
+from ..ir.nodes import Expr, Reduce, TIndex, TWindow, TiltProgram
+from ..ir.visitor import ExprVisitor
+
+__all__ = ["AccessPattern", "collect_accesses", "compose_extents", "BoundarySpec", "resolve_boundaries"]
+
+
+@dataclass
+class AccessPattern:
+    """How one expression accesses one temporal object.
+
+    ``point_offsets`` holds the offsets ``o`` of point accesses ``~x[t+o]``;
+    ``windows`` holds ``(a, b)`` pairs of window accesses ``~x[t+a : t+b]``.
+    """
+
+    point_offsets: Set[float] = field(default_factory=set)
+    windows: Set[Tuple[float, float]] = field(default_factory=set)
+
+    @property
+    def min_offset(self) -> float:
+        candidates = list(self.point_offsets) + [a for a, _ in self.windows]
+        return min(candidates) if candidates else 0.0
+
+    @property
+    def max_offset(self) -> float:
+        candidates = list(self.point_offsets) + [b for _, b in self.windows]
+        return max(candidates) if candidates else 0.0
+
+    def boundary_offsets(self) -> Set[float]:
+        """Offsets at which a change of the input can change the output.
+
+        A point access at offset ``o`` reacts to input changes shifted by
+        ``-o``; a window ``(a, b]`` reacts when a snapshot enters (shift
+        ``-b``) or leaves (shift ``-a``) the window.
+        """
+        offs: Set[float] = set()
+        for o in self.point_offsets:
+            offs.add(o)
+        for a, b in self.windows:
+            offs.add(a)
+            offs.add(b)
+        return offs
+
+    def merge(self, other: "AccessPattern") -> None:
+        self.point_offsets |= other.point_offsets
+        self.windows |= other.windows
+
+
+class _AccessCollector(ExprVisitor):
+    def __init__(self) -> None:
+        self.accesses: Dict[str, AccessPattern] = {}
+
+    def _pattern(self, name: str) -> AccessPattern:
+        return self.accesses.setdefault(name, AccessPattern())
+
+    def visit_tindex(self, node: TIndex) -> None:
+        self._pattern(node.ref).point_offsets.add(node.offset)
+
+    def visit_twindow(self, node: TWindow) -> None:
+        self._pattern(node.ref).windows.add((node.start_offset, node.end_offset))
+
+    def visit_reduce(self, node: Reduce) -> None:
+        self.visit(node.window)
+        if node.element is not None:
+            self.visit(node.element)
+
+
+def collect_accesses(expr: Expr) -> Dict[str, AccessPattern]:
+    """Access pattern of a single expression, keyed by temporal object name."""
+    collector = _AccessCollector()
+    collector.visit(expr)
+    return collector.accesses
+
+
+def compose_extents(program: TiltProgram, target: str) -> Dict[str, Tuple[float, float]]:
+    """Temporal lineage of ``target`` down to the program's *input* streams.
+
+    Returns, for each input stream, the interval of time offsets (relative to
+    an output time point ``T``) that computing ``~target[T]`` may read.
+    Offsets compose additively along the dependency chain: if ``target``
+    reads ``mid`` over ``[a, b]`` and ``mid`` reads ``in`` over ``[c, d]``,
+    then ``target`` reads ``in`` over ``[a+c, b+d]``.
+    """
+    inputs = set(program.inputs)
+    order = topological_order(program)
+    # extents of each defined expression w.r.t. the *inputs*
+    resolved: Dict[str, Dict[str, Tuple[float, float]]] = {}
+    for name in order:
+        te = program.expr_named(name)
+        own = reference_extents(te.expr)
+        total: Dict[str, Tuple[float, float]] = {}
+        for ref, (lo, hi) in own.items():
+            if ref in inputs:
+                _merge_extent(total, ref, lo, hi)
+            else:
+                for in_name, (ilo, ihi) in resolved[ref].items():
+                    _merge_extent(total, in_name, lo + ilo, hi + ihi)
+        resolved[name] = total
+    if target in inputs:
+        return {target: (0.0, 0.0)}
+    if target not in resolved:
+        raise BoundaryResolutionError(f"unknown temporal expression {target!r}")
+    return resolved[target]
+
+
+def _merge_extent(acc: Dict[str, Tuple[float, float]], name: str, lo: float, hi: float) -> None:
+    cur = acc.get(name)
+    if cur is None:
+        acc[name] = (lo, hi)
+    else:
+        acc[name] = (min(cur[0], lo), max(cur[1], hi))
+
+
+@dataclass(frozen=True)
+class BoundarySpec:
+    """Resolved boundary conditions of a program.
+
+    ``margins[input]`` is ``(lookback, lookahead)``: producing output over
+    ``(Ts, Te]`` requires input snapshots over
+    ``(Ts - lookback, Te + lookahead]`` (Figure 3b of the paper, where the
+    trend query resolves to ``~filter[Ts:Te] ⇐ ~stock[Ts-20 : Te]``).
+    """
+
+    margins: Dict[str, Tuple[float, float]]
+
+    @property
+    def max_lookback(self) -> float:
+        return max((lb for lb, _ in self.margins.values()), default=0.0)
+
+    @property
+    def max_lookahead(self) -> float:
+        return max((la for _, la in self.margins.values()), default=0.0)
+
+    def lookback(self, input_name: str) -> float:
+        return self.margins.get(input_name, (0.0, 0.0))[0]
+
+    def lookahead(self, input_name: str) -> float:
+        return self.margins.get(input_name, (0.0, 0.0))[1]
+
+    def input_interval(self, input_name: str, t_start: float, t_end: float) -> Tuple[float, float]:
+        """Input interval required to produce output over ``(t_start, t_end]``."""
+        lb, la = self.margins.get(input_name, (0.0, 0.0))
+        return (t_start - lb, t_end + la)
+
+    def describe(self) -> str:
+        """Human-readable rendering, e.g. ``~out[Ts:Te] ⇐ ~stock[Ts-20 : Te]``."""
+        parts = []
+        for name, (lb, la) in sorted(self.margins.items()):
+            lo = f"Ts-{lb:g}" if lb else "Ts"
+            hi = f"Te+{la:g}" if la else "Te"
+            parts.append(f"~{name}[{lo} : {hi}]")
+        return " , ".join(parts)
+
+
+def resolve_boundaries(program: TiltProgram) -> BoundarySpec:
+    """Infer the boundary conditions of ``program``'s output expression.
+
+    Raises :class:`BoundaryResolutionError` when a margin is unbounded
+    (e.g. a window with an infinite extent), since such a query cannot be
+    partitioned for parallel execution.
+    """
+    extents = compose_extents(program, program.output)
+    margins: Dict[str, Tuple[float, float]] = {}
+    for name in program.inputs:
+        lo, hi = extents.get(name, (0.0, 0.0))
+        if not (math.isfinite(lo) and math.isfinite(hi)):
+            raise BoundaryResolutionError(
+                f"input ~{name} has an unbounded temporal extent ({lo}, {hi}); "
+                "the query cannot be partitioned"
+            )
+        lookback = max(0.0, -lo)
+        lookahead = max(0.0, hi)
+        margins[name] = (lookback, lookahead)
+    return BoundarySpec(margins)

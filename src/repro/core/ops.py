@@ -1,0 +1,187 @@
+"""Scalar operator semantics shared by the interpreter, the constant folder
+and the code generator.
+
+Every helper returns ``(value, valid)``: domain errors (division by zero,
+log of a non-positive number, square root of a negative number, ...) do not
+raise — they produce φ, consistent with the paper's rule that any operation
+on φ yields φ.  Keeping these semantics in one place guarantees the
+interpreted and compiled execution modes agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from ..errors import CompilationError
+
+__all__ = ["eval_binop", "eval_unop", "eval_call", "NUMPY_BINOPS", "NUMPY_UNOPS", "NUMPY_CALLS"]
+
+
+def eval_binop(op: str, a: float, b: float) -> Tuple[float, bool]:
+    """Evaluate a binary operator on two (valid) scalars."""
+    if op == "+":
+        return a + b, True
+    if op == "-":
+        return a - b, True
+    if op == "*":
+        return a * b, True
+    if op == "/":
+        if b == 0:
+            return 0.0, False
+        return a / b, True
+    if op == "%":
+        if b == 0:
+            return 0.0, False
+        return math.fmod(a, b), True
+    if op == "**":
+        try:
+            return float(a ** b), True
+        except (OverflowError, ValueError, ZeroDivisionError):
+            return 0.0, False
+    if op == "min":
+        return (a if a < b else b), True
+    if op == "max":
+        return (a if a > b else b), True
+    if op == ">":
+        return (1.0 if a > b else 0.0), True
+    if op == "<":
+        return (1.0 if a < b else 0.0), True
+    if op == ">=":
+        return (1.0 if a >= b else 0.0), True
+    if op == "<=":
+        return (1.0 if a <= b else 0.0), True
+    if op == "==":
+        return (1.0 if a == b else 0.0), True
+    if op == "!=":
+        return (1.0 if a != b else 0.0), True
+    if op == "and":
+        return (1.0 if (a != 0 and b != 0) else 0.0), True
+    if op == "or":
+        return (1.0 if (a != 0 or b != 0) else 0.0), True
+    raise CompilationError(f"unknown binary operator {op!r}")
+
+
+def eval_unop(op: str, a: float) -> Tuple[float, bool]:
+    """Evaluate a unary operator on a (valid) scalar."""
+    if op == "neg":
+        return -a, True
+    if op == "not":
+        return (0.0 if a != 0 else 1.0), True
+    if op == "abs":
+        return abs(a), True
+    if op == "sqrt":
+        if a < 0:
+            return 0.0, False
+        return math.sqrt(a), True
+    if op == "exp":
+        try:
+            return math.exp(a), True
+        except OverflowError:
+            return 0.0, False
+    if op == "log":
+        if a <= 0:
+            return 0.0, False
+        return math.log(a), True
+    if op == "floor":
+        return math.floor(a), True
+    if op == "ceil":
+        return math.ceil(a), True
+    if op == "sign":
+        return (0.0 if a == 0 else math.copysign(1.0, a)), True
+    raise CompilationError(f"unknown unary operator {op!r}")
+
+
+def eval_call(func: str, args: Sequence[float]) -> Tuple[float, bool]:
+    """Evaluate an external function call on (valid) scalars."""
+    try:
+        if func == "sqrt":
+            return eval_unop("sqrt", args[0])
+        if func == "exp":
+            return eval_unop("exp", args[0])
+        if func == "log":
+            return eval_unop("log", args[0])
+        if func == "abs":
+            return abs(args[0]), True
+        if func == "floor":
+            return math.floor(args[0]), True
+        if func == "ceil":
+            return math.ceil(args[0]), True
+        if func == "sin":
+            return math.sin(args[0]), True
+        if func == "cos":
+            return math.cos(args[0]), True
+        if func == "pow":
+            return eval_binop("**", args[0], args[1])
+        if func == "atan2":
+            return math.atan2(args[0], args[1]), True
+    except (ValueError, OverflowError, IndexError):
+        return 0.0, False
+    raise CompilationError(f"unknown external function {func!r}")
+
+
+# ---------------------------------------------------------------------- #
+# NumPy source snippets used by the code generator.  Each entry maps an IR
+# operator to a Python/NumPy expression template over already-masked operand
+# arrays; the generated kernel combines them with the validity masks.
+# ---------------------------------------------------------------------- #
+NUMPY_BINOPS = {
+    "+": "({a} + {b})",
+    "-": "({a} - {b})",
+    "*": "({a} * {b})",
+    "/": "_np.divide({a}, {b}, out=_np.zeros_like({a}), where=({b} != 0))",
+    "%": "_np.mod({a}, _np.where({b} != 0, {b}, 1.0))",
+    "**": "_np.power({a}, {b})",
+    "min": "_np.minimum({a}, {b})",
+    "max": "_np.maximum({a}, {b})",
+    ">": "({a} > {b}).astype(_np.float64)",
+    "<": "({a} < {b}).astype(_np.float64)",
+    ">=": "({a} >= {b}).astype(_np.float64)",
+    "<=": "({a} <= {b}).astype(_np.float64)",
+    "==": "({a} == {b}).astype(_np.float64)",
+    "!=": "({a} != {b}).astype(_np.float64)",
+    "and": "(({a} != 0) & ({b} != 0)).astype(_np.float64)",
+    "or": "(({a} != 0) | ({b} != 0)).astype(_np.float64)",
+}
+
+#: operators whose result validity needs an extra domain mask besides the
+#: conjunction of operand validities (e.g. division by zero).
+NUMPY_BINOP_DOMAIN = {
+    "/": "({b} != 0)",
+    "%": "({b} != 0)",
+}
+
+NUMPY_UNOPS = {
+    "neg": "(-{a})",
+    "not": "({a} == 0).astype(_np.float64)",
+    "abs": "_np.abs({a})",
+    "sqrt": "_np.sqrt(_np.maximum({a}, 0.0))",
+    "exp": "_np.exp(_np.minimum({a}, 700.0))",
+    "log": "_np.log(_np.maximum({a}, 1e-300))",
+    "floor": "_np.floor({a})",
+    "ceil": "_np.ceil({a})",
+    "sign": "_np.sign({a})",
+}
+
+NUMPY_UNOP_DOMAIN = {
+    "sqrt": "({a} >= 0)",
+    "log": "({a} > 0)",
+}
+
+NUMPY_CALLS = {
+    "sqrt": "_np.sqrt(_np.maximum({0}, 0.0))",
+    "exp": "_np.exp(_np.minimum({0}, 700.0))",
+    "log": "_np.log(_np.maximum({0}, 1e-300))",
+    "abs": "_np.abs({0})",
+    "floor": "_np.floor({0})",
+    "ceil": "_np.ceil({0})",
+    "sin": "_np.sin({0})",
+    "cos": "_np.cos({0})",
+    "pow": "_np.power({0}, {1})",
+    "atan2": "_np.arctan2({0}, {1})",
+}
+
+NUMPY_CALL_DOMAIN = {
+    "sqrt": "({0} >= 0)",
+    "log": "({0} > 0)",
+}

@@ -1,0 +1,45 @@
+"""TiLT IR optimization passes (Section 5.2)."""
+
+from .fusion import FusionResult, fuse_operators, fuse_program
+from .passes import (
+    PassManager,
+    PassRecord,
+    constant_fold_expr,
+    constant_folding,
+    dead_expression_elimination,
+    default_pass_manager,
+    optimize,
+    simplify_lets,
+)
+from .rewrite import (
+    as_element_map,
+    collect_point_refs,
+    is_pointwise,
+    pointwise_input,
+    rename_let_vars,
+    shift_expr,
+    substitute_tindex,
+    substitute_vars,
+)
+
+__all__ = [
+    "FusionResult",
+    "fuse_operators",
+    "fuse_program",
+    "PassManager",
+    "PassRecord",
+    "constant_fold_expr",
+    "constant_folding",
+    "dead_expression_elimination",
+    "default_pass_manager",
+    "optimize",
+    "simplify_lets",
+    "as_element_map",
+    "collect_point_refs",
+    "is_pointwise",
+    "pointwise_input",
+    "rename_let_vars",
+    "shift_expr",
+    "substitute_tindex",
+    "substitute_vars",
+]

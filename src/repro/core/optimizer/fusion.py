@@ -1,0 +1,239 @@
+"""Operator fusion (Section 5.2 of the paper).
+
+In the event-centric model, operator fusion stops at "soft pipeline
+breakers" (window aggregations, joins) because the fused operator is not
+expressible at the operator-graph level.  In TiLT IR the same optimization is
+a *local rewrite*: a consumer's reference ``~sym[t+o]`` to a previously
+defined temporal expression is replaced by ``sym``'s defining body shifted by
+``o`` (bound in a Let so multiply-referenced producers are still evaluated
+once).  Because this rewrite does not care whether the producer contains a
+reduction, fusion proceeds straight through pipeline breakers and typically
+collapses the whole query into a single temporal expression (Figure 3c).
+
+Two kinds of references are inlined:
+
+* **point references** ``~sym[t+o]`` — always inlinable (subject to time
+  domain compatibility), even when ``sym`` contains reductions;
+* **window references** ``reduce(f, ~sym[t+a : t+b])`` where ``sym`` is a
+  pointwise map of a single point access — rewritten into a reduction over
+  the underlying stream with ``sym``'s body as the per-snapshot element map.
+
+References that cannot be inlined (e.g. a window over a producer that itself
+aggregates, or producers with an incompatible precision) are left
+materialized; the resulting program simply has more than one fused stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.analysis import referenced_streams, topological_order
+from ..ir.nodes import (
+    ELEM_VAR,
+    Expr,
+    Let,
+    Reduce,
+    TDom,
+    TIndex,
+    TWindow,
+    TemporalExpr,
+    TiltProgram,
+    Var,
+)
+from ..ir.visitor import ExprTransformer
+from .rewrite import (
+    as_element_map,
+    collect_point_refs,
+    pointwise_input,
+    rename_let_vars,
+    shift_expr,
+    substitute_tindex,
+    substitute_vars,
+)
+
+__all__ = ["FusionResult", "fuse_program", "fuse_operators"]
+
+_MAX_ITERATIONS = 64
+
+
+@dataclass
+class FusionResult:
+    """Outcome of running fusion on a program."""
+
+    program: TiltProgram
+    inlined_point_refs: int = 0
+    inlined_window_refs: int = 0
+    expressions_before: int = 0
+    expressions_after: int = 0
+
+    @property
+    def fully_fused(self) -> bool:
+        """True when the query collapsed into a single temporal expression."""
+        return self.expressions_after == 1
+
+
+def _domains_compatible(producer: TDom, consumer: TDom) -> bool:
+    """A producer may be inlined when its value grid is at least as fine as
+    the consumer's: continuous producers (precision 0) always qualify, and so
+    do producers whose precision equals the consumer's."""
+    if producer.precision == 0:
+        return True
+    return producer.precision == consumer.precision
+
+
+def _adopt_reference_precision(
+    te: TemporalExpr, fused: Dict[str, TemporalExpr], inputs: set
+) -> TemporalExpr:
+    """Tighten a continuous expression's precision to its producers' grid.
+
+    A continuous (precision-0) expression whose references are *all*
+    previously defined expressions sharing the same precision ``p > 0`` can
+    only change value on that ``p`` grid, so re-declaring it with precision
+    ``p`` is semantics-preserving.  This is what lets fusion proceed through
+    the Join/Where stages sitting on top of windowed aggregations (the trend
+    query of Figure 3 ends up as a single expression over ``TDom(Ts, Te, 1)``).
+    """
+    if te.tdom.precision != 0:
+        return te
+    refs = referenced_streams(te.expr)
+    if not refs:
+        return te
+    precisions = set()
+    for ref in refs:
+        if ref in inputs:
+            return te
+        producer = fused.get(ref)
+        if producer is None:
+            return te
+        precisions.add(producer.tdom.precision)
+    if len(precisions) == 1:
+        precision = precisions.pop()
+        if precision > 0:
+            return TemporalExpr(te.name, TDom(te.tdom.start, te.tdom.end, precision), te.expr)
+    return te
+
+
+class _WindowRefInliner(ExprTransformer):
+    """Rewrite ``reduce(f, ~sym[a:b])`` into a reduce over sym's input with an
+    element map, for pointwise single-input producers."""
+
+    def __init__(self, defs: Dict[str, TemporalExpr], consumer_dom: TDom):
+        self.defs = defs
+        self.consumer_dom = consumer_dom
+        self.inlined = 0
+
+    def visit_reduce(self, node: Reduce) -> Expr:
+        element = self.visit(node.element) if node.element is not None else None
+        window = node.window
+        producer = self.defs.get(window.ref)
+        if producer is not None and _domains_compatible(producer.tdom, self.consumer_dom):
+            pw = pointwise_input(producer.expr)
+            if pw is not None:
+                ref, offset = pw
+                mapped = as_element_map(producer.expr, ref, offset)
+                if element is not None:
+                    # compose: the existing element map runs on the producer's output
+                    mapped = substitute_vars(element, {ELEM_VAR: mapped})
+                else:
+                    mapped = mapped
+                new_window = TWindow(
+                    ref, window.start_offset + offset, window.end_offset + offset
+                )
+                self.inlined += 1
+                return Reduce(node.agg, new_window, mapped)
+        return Reduce(node.agg, window, element)
+
+
+def _inline_point_refs(
+    expr: Expr,
+    defs: Dict[str, TemporalExpr],
+    consumer_dom: TDom,
+    counter: List[int],
+) -> Tuple[Expr, bool]:
+    """Replace point references to defined expressions with Let bindings."""
+    refs = collect_point_refs(expr)
+    targets = [
+        (ref, offset)
+        for (ref, offset) in refs
+        if ref in defs and _domains_compatible(defs[ref].tdom, consumer_dom)
+    ]
+    if not targets:
+        return expr, False
+    bindings = []
+    mapping: Dict[Tuple[str, float], Expr] = {}
+    for idx, (ref, offset) in enumerate(sorted(targets)):
+        var_name = f"{ref}_at_{_offset_tag(offset)}"
+        body = defs[ref].expr
+        body = rename_let_vars(body, f"__{counter[0]}")
+        counter[0] += 1
+        body = shift_expr(body, offset)
+        bindings.append((var_name, body))
+        mapping[(ref, offset)] = Var(var_name)
+    new_expr = substitute_tindex(expr, mapping)
+    counter[1] += len(targets)
+    return Let(tuple(bindings), new_expr), True
+
+
+def _offset_tag(offset: float) -> str:
+    text = f"{offset:g}".replace("-", "m").replace(".", "p")
+    return text if text else "0"
+
+
+def fuse_program(program: TiltProgram) -> FusionResult:
+    """Apply operator fusion to ``program`` and return the fused program.
+
+    The pass walks the expressions in topological order and repeatedly
+    inlines references until a fixpoint, then drops definitions that are no
+    longer referenced (they were fully absorbed by their consumers).
+    """
+    defs: Dict[str, TemporalExpr] = {te.name: te for te in program.exprs}
+    order = topological_order(program)
+    result = FusionResult(program=program, expressions_before=len(program.exprs))
+    counter = [0, 0]  # [alpha-rename counter, inlined point refs]
+
+    fused: Dict[str, TemporalExpr] = {}
+    for name in order:
+        te = defs[name]
+        te = _adopt_reference_precision(te, fused, set(program.inputs))
+        expr = te.expr
+        for _ in range(_MAX_ITERATIONS):
+            changed = False
+            window_inliner = _WindowRefInliner(fused, te.tdom)
+            new_expr = window_inliner.visit(expr)
+            if window_inliner.inlined:
+                result.inlined_window_refs += window_inliner.inlined
+                changed = True
+            new_expr, point_changed = _inline_point_refs(new_expr, fused, te.tdom, counter)
+            changed = changed or point_changed
+            expr = new_expr
+            if not changed:
+                break
+        fused[name] = TemporalExpr(te.name, te.tdom, expr)
+
+    result.inlined_point_refs = counter[1]
+
+    # dead-expression elimination: keep only expressions reachable from the output
+    keep = _reachable(fused, program.output)
+    new_exprs = [fused[te.name] for te in program.exprs if te.name in keep]
+    result.program = program.with_exprs(new_exprs)
+    result.expressions_after = len(new_exprs)
+    return result
+
+
+def _reachable(defs: Dict[str, TemporalExpr], output: str) -> set:
+    seen = set()
+    stack = [output]
+    while stack:
+        name = stack.pop()
+        if name in seen or name not in defs:
+            continue
+        seen.add(name)
+        for ref in referenced_streams(defs[name].expr):
+            stack.append(ref)
+    return seen
+
+
+def fuse_operators(program: TiltProgram) -> TiltProgram:
+    """Pass-manager entry point: run fusion and return the fused program."""
+    return fuse_program(program).program

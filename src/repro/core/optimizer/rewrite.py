@@ -1,0 +1,181 @@
+"""Expression rewriting utilities shared by the optimizer passes.
+
+These are the small, composable IR transformations out of which operator
+fusion (Section 5.2) is built:
+
+* :func:`shift_expr` — shift every temporal access of an expression by a
+  constant offset (inlining ``~sym[t+o]`` requires evaluating sym's body at
+  ``t+o``).
+* :func:`substitute_vars` — replace scalar variables by expressions.
+* :func:`rename_let_vars` — alpha-rename Let bindings to avoid capture when
+  bodies from different expressions are spliced together.
+* :func:`is_pointwise` / :func:`pointwise_input` — recognise producer
+  expressions that can be folded into a consumer's Reduce as an element map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..ir.analysis import contains_reduce, referenced_streams
+from ..ir.nodes import (
+    ELEM_VAR,
+    Expr,
+    Let,
+    Reduce,
+    TIndex,
+    TWindow,
+    Var,
+)
+from ..ir.visitor import ExprTransformer
+
+__all__ = [
+    "shift_expr",
+    "substitute_vars",
+    "substitute_tindex",
+    "rename_let_vars",
+    "is_pointwise",
+    "pointwise_input",
+    "collect_point_refs",
+    "as_element_map",
+]
+
+
+class _Shifter(ExprTransformer):
+    def __init__(self, offset: float):
+        self.offset = float(offset)
+
+    def visit_tindex(self, node: TIndex) -> TIndex:
+        return TIndex(node.ref, node.offset + self.offset)
+
+    def visit_twindow(self, node: TWindow) -> TWindow:
+        return TWindow(node.ref, node.start_offset + self.offset, node.end_offset + self.offset)
+
+
+def shift_expr(expr: Expr, offset: float) -> Expr:
+    """Shift every temporal access in ``expr`` by ``offset`` seconds."""
+    if offset == 0:
+        return expr
+    return _Shifter(offset).visit(expr)
+
+
+class _VarSubstituter(ExprTransformer):
+    def __init__(self, mapping: Dict[str, Expr]):
+        self.mapping = mapping
+
+    def visit_var(self, node: Var) -> Expr:
+        return self.mapping.get(node.name, node)
+
+
+def substitute_vars(expr: Expr, mapping: Dict[str, Expr]) -> Expr:
+    """Replace scalar variables by the given expressions (no capture handling:
+    callers must alpha-rename first when needed)."""
+    if not mapping:
+        return expr
+    return _VarSubstituter(mapping).visit(expr)
+
+
+class _TIndexSubstituter(ExprTransformer):
+    def __init__(self, mapping: Dict[Tuple[str, float], Expr]):
+        self.mapping = mapping
+
+    def visit_tindex(self, node: TIndex) -> Expr:
+        return self.mapping.get((node.ref, node.offset), node)
+
+
+def substitute_tindex(expr: Expr, mapping: Dict[Tuple[str, float], Expr]) -> Expr:
+    """Replace point accesses ``~ref[t+o]`` by arbitrary expressions."""
+    if not mapping:
+        return expr
+    return _TIndexSubstituter(mapping).visit(expr)
+
+
+class _LetRenamer(ExprTransformer):
+    def __init__(self, suffix: str):
+        self.suffix = suffix
+        self._scope: Dict[str, str] = {}
+
+    def visit_var(self, node: Var) -> Expr:
+        new = self._scope.get(node.name)
+        return Var(new) if new is not None else node
+
+    def visit_let(self, node: Let) -> Expr:
+        saved = dict(self._scope)
+        bindings = []
+        for name, value in node.bindings:
+            value = self.visit(value)
+            new_name = f"{name}{self.suffix}"
+            self._scope[name] = new_name
+            bindings.append((new_name, value))
+        body = self.visit(node.body)
+        self._scope = saved
+        return Let(tuple(bindings), body)
+
+
+def rename_let_vars(expr: Expr, suffix: str) -> Expr:
+    """Alpha-rename every Let-bound variable by appending ``suffix``."""
+    return _LetRenamer(suffix).visit(expr)
+
+
+def is_pointwise(expr: Expr) -> bool:
+    """True when ``expr`` contains no reduction (it is a per-time-point map)."""
+    return not contains_reduce(expr)
+
+
+def pointwise_input(expr: Expr) -> Optional[Tuple[str, float]]:
+    """If ``expr`` is a pointwise function of a *single* point access
+    ``~ref[t+o]``, return ``(ref, o)``; otherwise None.
+
+    Such producers can be folded into a consumer's window reduction as an
+    element-map (the snapshot-level lambda applied before aggregation).
+    """
+    if contains_reduce(expr):
+        return None
+    refs = referenced_streams(expr)
+    if len(refs) != 1:
+        return None
+    offsets = _collect_offsets(expr, refs[0])
+    if offsets is None or len(offsets) != 1:
+        return None
+    return refs[0], next(iter(offsets))
+
+
+def _collect_offsets(expr: Expr, ref: str) -> Optional[set]:
+    """Point-access offsets of ``ref`` in ``expr``; None if windows are used."""
+    offsets = set()
+
+    def walk(node: Expr) -> bool:
+        if isinstance(node, TWindow):
+            return False
+        if isinstance(node, TIndex) and node.ref == ref:
+            offsets.add(node.offset)
+        return all(walk(c) for c in node.children())
+
+    if not walk(expr):
+        return None
+    return offsets
+
+
+def collect_point_refs(expr: Expr) -> Dict[Tuple[str, float], int]:
+    """Count point accesses ``(ref, offset)`` occurring in ``expr``."""
+    counts: Dict[Tuple[str, float], int] = {}
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, TIndex):
+            key = (node.ref, node.offset)
+            counts[key] = counts.get(key, 0) + 1
+        for c in node.children():
+            walk(c)
+
+    walk(expr)
+    return counts
+
+
+def as_element_map(expr: Expr, ref: str, offset: float) -> Expr:
+    """Rewrite a pointwise producer body as an element-map expression.
+
+    Every point access ``~ref[t+offset]`` becomes the reduce element variable
+    :data:`ELEM_VAR`, so the producer can run per-snapshot inside a consumer's
+    reduction.
+    """
+    return substitute_tindex(expr, {(ref, offset): Var(ELEM_VAR)})

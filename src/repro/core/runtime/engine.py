@@ -1,0 +1,249 @@
+"""The TiLT engine: end-to-end compilation and parallel execution.
+
+``TiltEngine`` ties the whole pipeline of Figure 3 together:
+
+1. the query (a :class:`~repro.core.ir.nodes.TiltProgram`, usually produced
+   by the frontend translator) is validated and optimized;
+2. boundary conditions are resolved;
+3. one vectorized kernel per remaining temporal expression is generated and
+   compiled (or, in ``mode='interpreted'``, the reference interpreter is
+   used);
+4. at run time the input streams are converted to snapshot buffers,
+   partitioned according to the boundary conditions, executed by a worker
+   pool, and the per-partition outputs are concatenated back into a single
+   snapshot buffer / event stream.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from ...errors import ExecutionError, QueryBuildError
+from ..codegen.compiled import CompiledQuery, compile_program
+from ..codegen.interpreter import evaluate_program
+from ..ir.nodes import TiltProgram
+from ..lineage.boundary import BoundarySpec, resolve_boundaries
+from .executor import Executor, make_executor
+from .partition import Partition, partition_inputs
+from .ssbuf import SSBuf, ssbufs_from_stream
+from .stream import EventStream
+
+__all__ = ["QueryResult", "TiltEngine"]
+
+StreamLike = Union[EventStream, SSBuf]
+
+
+@dataclass
+class QueryResult:
+    """Output of a query run plus execution statistics."""
+
+    output: SSBuf
+    elapsed_seconds: float
+    num_partitions: int
+    workers: int
+    input_events: int
+    boundary: Optional[BoundarySpec] = None
+
+    @property
+    def throughput(self) -> float:
+        """Input events processed per second."""
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.input_events / self.elapsed_seconds
+
+    def to_stream(self, name: str = "output") -> EventStream:
+        """Output as an event stream (φ intervals dropped, adjacent equal
+        snapshots merged)."""
+        return self.output.to_stream(name)
+
+
+class TiltEngine:
+    """Compile and execute TiLT queries.
+
+    Parameters
+    ----------
+    workers:
+        Number of parallel worker threads (1 = serial execution).
+    partition_interval:
+        Fixed output-interval size per partition.  When omitted, the output
+        range is split into ``partitions_per_worker * workers`` equal
+        partitions.
+    partitions_per_worker:
+        Partitions created per worker when ``partition_interval`` is not set.
+    mode:
+        ``'compiled'`` (default) uses the code-generating backend;
+        ``'interpreted'`` runs the reference interpreter (the "UnOpt"
+        execution model).
+    optimize / enable_fusion:
+        Control the optimizer pipeline (see
+        :func:`repro.core.codegen.compile_program`).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        partition_interval: Optional[float] = None,
+        partitions_per_worker: int = 4,
+        mode: str = "compiled",
+        optimize: bool = True,
+        enable_fusion: bool = True,
+    ):
+        if mode not in ("compiled", "interpreted"):
+            raise QueryBuildError(f"unknown execution mode {mode!r}")
+        if workers < 1:
+            raise QueryBuildError("workers must be >= 1")
+        self.workers = int(workers)
+        self.partition_interval = partition_interval
+        self.partitions_per_worker = int(partitions_per_worker)
+        self.mode = mode
+        self.optimize = optimize
+        self.enable_fusion = enable_fusion
+
+    # ------------------------------------------------------------------ #
+    # compilation
+    # ------------------------------------------------------------------ #
+    def compile(self, program: TiltProgram) -> CompiledQuery:
+        """Compile a program (always uses the code-generating backend)."""
+        return compile_program(
+            program, optimize=self.optimize, enable_fusion=self.enable_fusion
+        )
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        query: Union[TiltProgram, CompiledQuery],
+        streams: Mapping[str, StreamLike],
+        t_start: Optional[float] = None,
+        t_end: Optional[float] = None,
+    ) -> QueryResult:
+        """Execute ``query`` over the given input streams.
+
+        ``streams`` maps input names to event streams or snapshot buffers;
+        structured event streams are expanded into one buffer per field
+        (named ``"<stream>.<field>"``).  The output time range defaults to
+        the union of the input time ranges.
+        """
+        program, compiled = self._prepare(query)
+        inputs, input_events = self._ingest(program, streams)
+        t_start, t_end = self._time_range(inputs, t_start, t_end)
+
+        boundary = compiled.boundary if compiled is not None else resolve_boundaries(program)
+        # partition boundaries must not fall inside a precision interval of
+        # any temporal expression, otherwise workers would evaluate the query
+        # at off-grid times (see plan_partitions).
+        alignment = max((te.tdom.precision for te in program.exprs), default=0.0)
+        partitions = self._partition(inputs, boundary, t_start, t_end, alignment)
+
+        start = time.perf_counter()
+        executor = make_executor(self.workers)
+        try:
+            if compiled is not None:
+                pieces = executor.map(
+                    lambda p: compiled.run(p.inputs, p.t_start, p.t_end), partitions
+                )
+            else:
+                pieces = executor.map(
+                    lambda p: evaluate_program(
+                        program, p.inputs, p.t_start, p.t_end, boundary=boundary
+                    )[program.output],
+                    partitions,
+                )
+        finally:
+            executor.shutdown()
+        output = SSBuf.concat(pieces).compact() if pieces else SSBuf.empty(t_start)
+        elapsed = time.perf_counter() - start
+        return QueryResult(
+            output=output,
+            elapsed_seconds=elapsed,
+            num_partitions=len(partitions),
+            workers=self.workers,
+            input_events=input_events,
+            boundary=boundary,
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _prepare(
+        self, query: Union[TiltProgram, CompiledQuery]
+    ) -> Tuple[TiltProgram, Optional[CompiledQuery]]:
+        if isinstance(query, CompiledQuery):
+            return query.program, query
+        if not isinstance(query, TiltProgram):
+            raise QueryBuildError(f"cannot execute object of type {type(query).__name__}")
+        if self.mode == "compiled":
+            compiled = self.compile(query)
+            return compiled.program, compiled
+        return query, None
+
+    @staticmethod
+    def _ingest(
+        program: TiltProgram, streams: Mapping[str, StreamLike]
+    ) -> Tuple[Dict[str, SSBuf], int]:
+        inputs: Dict[str, SSBuf] = {}
+        input_events = 0
+        for name, stream in streams.items():
+            if isinstance(stream, SSBuf):
+                inputs[name] = stream
+                input_events += stream.num_valid()
+            elif isinstance(stream, EventStream):
+                bufs = ssbufs_from_stream(stream)
+                if not stream.is_structured:
+                    # scalar stream: honour the caller-provided input name
+                    inputs[name] = next(iter(bufs.values()))
+                else:
+                    for col_name, buf in bufs.items():
+                        field = col_name.split(".", 1)[1]
+                        inputs[f"{name}.{field}"] = buf
+                input_events += len(stream)
+            else:
+                raise QueryBuildError(
+                    f"input {name!r} must be an EventStream or SSBuf, got {type(stream).__name__}"
+                )
+        missing = [n for n in program.inputs if n not in inputs]
+        if missing:
+            raise ExecutionError(f"missing input streams: {missing}")
+        return inputs, input_events
+
+    @staticmethod
+    def _time_range(
+        inputs: Mapping[str, SSBuf], t_start: Optional[float], t_end: Optional[float]
+    ) -> Tuple[float, float]:
+        if t_start is None:
+            starts = [buf.start_time for buf in inputs.values() if len(buf)]
+            t_start = min(starts) if starts else 0.0
+        if t_end is None:
+            ends = [buf.end_time for buf in inputs.values() if len(buf)]
+            t_end = max(ends) if ends else t_start
+        if t_end < t_start:
+            raise QueryBuildError("t_end must not precede t_start")
+        return float(t_start), float(t_end)
+
+    def _partition(
+        self,
+        inputs: Mapping[str, SSBuf],
+        boundary: BoundarySpec,
+        t_start: float,
+        t_end: float,
+        alignment: float = 0.0,
+    ) -> List[Partition]:
+        if self.partition_interval is not None:
+            return partition_inputs(
+                inputs,
+                boundary,
+                t_start,
+                t_end,
+                interval=self.partition_interval,
+                align=alignment,
+            )
+        count = max(1, self.workers * self.partitions_per_worker)
+        if self.workers == 1:
+            count = 1
+        return partition_inputs(
+            inputs, boundary, t_start, t_end, num_partitions=count, align=alignment
+        )

@@ -1,0 +1,75 @@
+"""Worker-pool executors for partition-parallel query execution.
+
+The compiled kernels are pure functions of their partition, so parallel
+execution needs no locks, no shared aggregation state and no cross-worker
+communication — the property the paper credits for TiLT's scalability
+advantage over Grizzly's atomic shared state and LightSaber's aggregation
+trees.  Two executors are provided:
+
+* :class:`SerialExecutor` — runs partitions in the calling thread (the
+  single-worker configuration, and the deterministic mode used by tests);
+* :class:`ThreadPoolExecutor` — a pool of worker threads; the NumPy kernels
+  release the GIL for their array work, so this gives real (if sub-linear)
+  multi-core scaling on CPython.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, Iterable, List, Sequence, TypeVar
+
+__all__ = ["Executor", "SerialExecutor", "ThreadPoolExecutor", "make_executor"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class Executor:
+    """Minimal executor interface: order-preserving map over work items."""
+
+    #: number of workers this executor uses (1 for serial)
+    workers: int = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release pool resources (no-op for serial execution)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class SerialExecutor(Executor):
+    """Run every item in the calling thread, in order."""
+
+    workers = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+class ThreadPoolExecutor(Executor):
+    """Thread-pool executor with an order-preserving map."""
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
+        self._pool = concurrent.futures.ThreadPoolExecutor(max_workers=self.workers)
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        return list(self._pool.map(fn, items))
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def make_executor(workers: int) -> Executor:
+    """Serial executor for one worker, a thread pool otherwise."""
+    if workers <= 1:
+        return SerialExecutor()
+    return ThreadPoolExecutor(workers)

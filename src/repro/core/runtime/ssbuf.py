@@ -1,0 +1,394 @@
+"""Snapshot buffers (SSBuf): the physical representation of temporal objects.
+
+Section 6.1.1 of the paper: a temporal object conceptually defines a value at
+*every* point in time, but physically TiLT only stores the *changes* of that
+value.  A snapshot buffer is an ordered sequence of snapshots
+``(timestamp, value)`` where the snapshot with timestamp ``t_i`` records the
+value held over the half-open interval ``(t_{i-1}, t_i]`` (``t_{-1}`` is the
+buffer's ``start_time``).  Gaps in the stream are explicit snapshots whose
+value is the null value φ (represented here by a ``False`` entry in the
+validity mask).
+
+Example (Figure 5 of the paper)::
+
+    events:   a over (5, 10],   b over (16, 23],   c over (30, 35]
+    SSBuf:    (5, φ) (10, a) (16, φ) (23, b) (30, φ) (35, c)
+
+The buffer stores three parallel NumPy arrays (``times``, ``values``,
+``valid``) so that the code-generated kernels can operate on it without any
+per-snapshot Python overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...errors import OverlappingEventsError, QueryBuildError
+from .stream import Event, EventStream
+
+__all__ = ["Snapshot", "SSBuf", "ssbuf_from_stream", "ssbufs_from_stream"]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A single change point of a temporal object.
+
+    ``value`` holds over the interval ``(previous timestamp, time]``.  When
+    ``valid`` is False the temporal object is φ (null) over that interval and
+    ``value`` is meaningless.
+    """
+
+    time: float
+    value: float
+    valid: bool
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.time:g}, {self.value:g})" if self.valid else f"({self.time:g}, φ)"
+
+
+class SSBuf:
+    """An ordered snapshot buffer over a bounded time range.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing snapshot end-timestamps.
+    values:
+        Snapshot values (float64).  Entries where ``valid`` is False are
+        ignored.
+    valid:
+        Validity mask; False marks a φ (null) snapshot.
+    start_time:
+        Time at which the first snapshot's interval begins.  Values before
+        ``start_time`` are undefined (treated as φ).
+    """
+
+    def __init__(
+        self,
+        times: Sequence[float],
+        values: Sequence[float],
+        valid: Optional[Sequence[bool]] = None,
+        start_time: Optional[float] = None,
+    ):
+        self.times = np.asarray(times, dtype=np.float64)
+        self.values = np.asarray(values, dtype=np.float64)
+        if valid is None:
+            self.valid = np.ones(len(self.times), dtype=bool)
+        else:
+            self.valid = np.asarray(valid, dtype=bool)
+        if not (len(self.times) == len(self.values) == len(self.valid)):
+            raise QueryBuildError("times, values and valid must have equal length")
+        if len(self.times) > 1 and not np.all(np.diff(self.times) > 0):
+            raise QueryBuildError("snapshot timestamps must be strictly increasing")
+        if start_time is None:
+            start_time = float(self.times[0]) if len(self.times) else 0.0
+            # by convention an auto-derived start leaves no room before the
+            # first snapshot, i.e. the first snapshot interval is empty unless
+            # the caller provided an explicit earlier start.
+            start_time = min(start_time, float(self.times[0]) - 0.0) if len(self.times) else 0.0
+        self.start_time = float(start_time)
+        if len(self.times) and self.start_time > self.times[0]:
+            raise QueryBuildError("start_time must not exceed the first snapshot timestamp")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, start_time: float = 0.0) -> "SSBuf":
+        """An SSBuf with no snapshots (φ everywhere)."""
+        return cls(np.empty(0), np.empty(0), np.empty(0, dtype=bool), start_time=start_time)
+
+    @classmethod
+    def from_events(
+        cls,
+        events: Iterable[Event],
+        *,
+        field: Optional[str] = None,
+        on_overlap: str = "error",
+        start_time: Optional[float] = None,
+    ) -> "SSBuf":
+        """Convert an in-order sequence of events to change-point form.
+
+        Gaps between events become φ snapshots.  Overlapping events either
+        raise :class:`OverlappingEventsError` (``on_overlap='error'``) or are
+        resolved by letting the most recently started event win
+        (``on_overlap='last'``), which is the list/map flattening strategy
+        mentioned in Section 6.1.1 reduced to a single representative value.
+        """
+        evs = list(events)
+        if not evs:
+            return cls.empty(start_time if start_time is not None else 0.0)
+
+        def payload(e: Event) -> float:
+            return e.field(field) if field is not None else e.value()
+
+        if on_overlap not in ("error", "last"):
+            raise QueryBuildError(f"unknown overlap policy {on_overlap!r}")
+
+        has_overlap = any(evs[i + 1].start < evs[i].end for i in range(len(evs) - 1))
+        if has_overlap and on_overlap == "error":
+            raise OverlappingEventsError(
+                "events have overlapping validity intervals; pass on_overlap='last'"
+            )
+
+        first_start = evs[0].start
+        buf_start = first_start if start_time is None else min(start_time, first_start)
+
+        if not has_overlap:
+            times: List[float] = []
+            values: List[float] = []
+            valid: List[bool] = []
+            if buf_start < first_start:
+                times.append(first_start)
+                values.append(0.0)
+                valid.append(False)
+            prev_end = first_start
+            for e in evs:
+                if e.start > prev_end:
+                    times.append(e.start)
+                    values.append(0.0)
+                    valid.append(False)
+                times.append(e.end)
+                values.append(payload(e))
+                valid.append(True)
+                prev_end = e.end
+            return cls(times, values, valid, start_time=buf_start)
+
+        # Overlap resolution via a boundary sweep: the most recently started
+        # active event provides the value of each elementary interval.
+        bounds = sorted({b for e in evs for b in (e.start, e.end)})
+        starts = np.array([e.start for e in evs])
+        ends = np.array([e.end for e in evs])
+        vals = np.array([payload(e) for e in evs])
+        times_l: List[float] = []
+        values_l: List[float] = []
+        valid_l: List[bool] = []
+        if buf_start < bounds[0]:
+            times_l.append(bounds[0])
+            values_l.append(0.0)
+            valid_l.append(False)
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            active = np.nonzero((starts < hi) & (ends >= hi) & (starts <= lo))[0]
+            if len(active):
+                winner = active[np.argmax(starts[active])]
+                times_l.append(hi)
+                values_l.append(float(vals[winner]))
+                valid_l.append(True)
+            else:
+                times_l.append(hi)
+                values_l.append(0.0)
+                valid_l.append(False)
+        buf = cls(times_l, values_l, valid_l, start_time=buf_start)
+        return buf.compact()
+
+    @classmethod
+    def constant(cls, value: float, start: float, end: float) -> "SSBuf":
+        """A buffer holding ``value`` over the whole interval ``(start, end]``."""
+        return cls([end], [value], [True], start_time=start)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[Snapshot]:
+        for t, v, ok in zip(self.times, self.values, self.valid):
+            yield Snapshot(float(t), float(v), bool(ok))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = " ".join(repr(s) for s in list(self)[:8])
+        more = " ..." if len(self) > 8 else ""
+        return f"SSBuf(start={self.start_time:g}, [{inner}{more}])"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SSBuf):
+            return NotImplemented
+        if len(self) != len(other) or self.start_time != other.start_time:
+            return False
+        if not np.array_equal(self.times, other.times):
+            return False
+        if not np.array_equal(self.valid, other.valid):
+            return False
+        return bool(np.allclose(self.values[self.valid], other.values[other.valid]))
+
+    @property
+    def end_time(self) -> float:
+        """Timestamp of the last snapshot (== ``start_time`` when empty)."""
+        return float(self.times[-1]) if len(self.times) else self.start_time
+
+    @property
+    def interval_starts(self) -> np.ndarray:
+        """Start of every snapshot interval: ``[start_time, times[:-1]...]``."""
+        if not len(self.times):
+            return np.empty(0)
+        return np.concatenate(([self.start_time], self.times[:-1]))
+
+    def num_valid(self) -> int:
+        """Number of non-φ snapshots."""
+        return int(np.count_nonzero(self.valid))
+
+    def snapshots(self) -> List[Snapshot]:
+        """Materialize the snapshots as a Python list."""
+        return list(self)
+
+    # ------------------------------------------------------------------ #
+    # point and range queries
+    # ------------------------------------------------------------------ #
+    def index_at(self, t: float) -> int:
+        """Index of the snapshot whose interval contains ``t`` (-1 if none)."""
+        if not len(self.times) or t <= self.start_time or t > self.times[-1]:
+            return -1
+        return int(np.searchsorted(self.times, t, side="left"))
+
+    def value_at(self, t: float) -> Tuple[float, bool]:
+        """Value and validity of the temporal object at time ``t``."""
+        idx = self.index_at(t)
+        if idx < 0 or not self.valid[idx]:
+            return (0.0, False)
+        return (float(self.values[idx]), True)
+
+    def values_at(self, ts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`value_at` over an array of query times."""
+        ts = np.asarray(ts, dtype=np.float64)
+        if not len(self.times):
+            return np.zeros(len(ts)), np.zeros(len(ts), dtype=bool)
+        idx = np.searchsorted(self.times, ts, side="left")
+        in_range = (ts > self.start_time) & (ts <= self.times[-1])
+        idx_c = np.clip(idx, 0, len(self.times) - 1)
+        vals = self.values[idx_c]
+        ok = in_range & self.valid[idx_c]
+        return np.where(ok, vals, 0.0), ok
+
+    def change_times_in(self, start: float, end: float) -> np.ndarray:
+        """Snapshot timestamps lying inside ``(start, end]``."""
+        lo = np.searchsorted(self.times, start, side="right")
+        hi = np.searchsorted(self.times, end, side="right")
+        return self.times[lo:hi]
+
+    # ------------------------------------------------------------------ #
+    # transformations
+    # ------------------------------------------------------------------ #
+    def slice(self, start: float, end: float) -> "SSBuf":
+        """Restrict the buffer to the interval ``(start, end]``.
+
+        Used by the partitioner (Section 6.2): each worker receives a slice of
+        the input SSBuf extended backwards by the resolved lookback margin.
+        """
+        if end <= start:
+            return SSBuf.empty(start)
+        start = max(start, self.start_time)
+        if not len(self.times) or start >= self.times[-1]:
+            return SSBuf.empty(start)
+        lo = int(np.searchsorted(self.times, start, side="right"))
+        hi = int(np.searchsorted(self.times, end, side="right"))
+        times = list(self.times[lo:hi])
+        values = list(self.values[lo:hi])
+        valid = list(self.valid[lo:hi])
+        if hi < len(self.times) and (not times or times[-1] < end):
+            # the snapshot at index `hi` spans past `end`; clip it.
+            times.append(end)
+            values.append(float(self.values[hi]))
+            valid.append(bool(self.valid[hi]))
+        return SSBuf(times, values, valid, start_time=start)
+
+    def shift(self, dt: float) -> "SSBuf":
+        """Shift the buffer forward in time by ``dt`` seconds.
+
+        The shifted object at time ``t`` has the value this object had at
+        ``t - dt`` — the semantics of the ``Shift`` operator used by the RSI,
+        imputation, resampling and fraud-detection queries.
+        """
+        return SSBuf(self.times + dt, self.values.copy(), self.valid.copy(), self.start_time + dt)
+
+    def compact(self) -> "SSBuf":
+        """Merge adjacent snapshots that hold identical values."""
+        if len(self.times) <= 1:
+            return self
+        keep = np.ones(len(self.times), dtype=bool)
+        for i in range(len(self.times) - 1):
+            same_validity = self.valid[i] == self.valid[i + 1]
+            same_value = (not self.valid[i]) or self.values[i] == self.values[i + 1]
+            if same_validity and same_value:
+                keep[i] = False
+        return SSBuf(
+            self.times[keep], self.values[keep], self.valid[keep], start_time=self.start_time
+        )
+
+    def map_values(self, fn) -> "SSBuf":
+        """Apply ``fn`` to every valid snapshot value (φ snapshots unchanged)."""
+        vals = self.values.copy()
+        vals[self.valid] = np.array([fn(v) for v in self.values[self.valid]], dtype=np.float64)
+        return SSBuf(self.times.copy(), vals, self.valid.copy(), start_time=self.start_time)
+
+    def to_events(self, compact: bool = True) -> List[Event]:
+        """Convert back to a list of events (dropping φ snapshots)."""
+        buf = self.compact() if compact else self
+        events: List[Event] = []
+        starts = buf.interval_starts
+        for i in range(len(buf.times)):
+            if buf.valid[i] and buf.times[i] > starts[i]:
+                events.append(Event(float(starts[i]), float(buf.times[i]), float(buf.values[i])))
+        return events
+
+    def to_stream(self, name: str = "stream") -> EventStream:
+        """Convert back to an :class:`EventStream`."""
+        return EventStream(self.to_events(), name=name, check_order=False)
+
+    # ------------------------------------------------------------------ #
+    # combination helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def merged_change_times(bufs: Sequence["SSBuf"], start: float, end: float) -> np.ndarray:
+        """Union of the change timestamps of several buffers inside ``(start, end]``.
+
+        This is the grid on which a fused temporal expression must be
+        evaluated: the output can only change when one of its inputs changes
+        (the invariant exploited by loop synthesis in Section 6.1.3).
+        """
+        pieces = [b.change_times_in(start, end) for b in bufs]
+        pieces = [p for p in pieces if len(p)]
+        if not pieces:
+            return np.empty(0)
+        return np.unique(np.concatenate(pieces))
+
+    @staticmethod
+    def concat(parts: Sequence["SSBuf"]) -> "SSBuf":
+        """Concatenate partition results back into one buffer (in time order)."""
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            return SSBuf.empty()
+        parts = sorted(parts, key=lambda b: b.start_time)
+        times = np.concatenate([p.times for p in parts])
+        values = np.concatenate([p.values for p in parts])
+        valid = np.concatenate([p.valid for p in parts])
+        order = np.argsort(times, kind="mergesort")
+        times, values, valid = times[order], values[order], valid[order]
+        uniq = np.ones(len(times), dtype=bool)
+        uniq[1:] = np.diff(times) > 0
+        return SSBuf(times[uniq], values[uniq], valid[uniq], start_time=parts[0].start_time)
+
+
+def ssbuf_from_stream(
+    stream: EventStream,
+    field: Optional[str] = None,
+    on_overlap: str = "error",
+) -> SSBuf:
+    """Convert an :class:`EventStream` (or one field of it) to an :class:`SSBuf`."""
+    return SSBuf.from_events(stream.events, field=field, on_overlap=on_overlap)
+
+
+def ssbufs_from_stream(stream: EventStream, on_overlap: str = "error") -> Dict[str, SSBuf]:
+    """Convert a structured stream into one SSBuf per payload field.
+
+    Scalar streams produce a single entry keyed by the stream name.
+    """
+    if not stream.is_structured:
+        return {stream.name: ssbuf_from_stream(stream, on_overlap=on_overlap)}
+    return {
+        f"{stream.name}.{field}": ssbuf_from_stream(stream, field=field, on_overlap=on_overlap)
+        for field in stream.fields()
+    }

@@ -1,0 +1,231 @@
+"""Event streams: the ingress data model.
+
+A data stream is an ordered, unbounded sequence of *events*.  Following the
+paper (Section 2), every event carries a payload and a validity interval
+``(start, end]``.  Payloads are either a single float or a flat mapping of
+field name to float (a "struct" payload); structured streams are decomposed
+into one column per field before they reach the TiLT runtime.
+
+The classes here are deliberately simple containers: all heavy lifting
+(change-point conversion, windowing, partitioning) happens on
+:class:`~repro.core.runtime.ssbuf.SSBuf`, the snapshot-buffer representation
+described in Section 6.1.1 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ...errors import QueryBuildError, StreamOrderError
+
+Payload = Union[float, int, Mapping[str, float]]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single stream event.
+
+    Attributes
+    ----------
+    start:
+        Exclusive start of the validity interval.
+    end:
+        Inclusive end of the validity interval.  ``end`` must be strictly
+        greater than ``start``.
+    payload:
+        Either a scalar (float/int) or a flat mapping of field names to
+        scalars for structured streams.
+    """
+
+    start: float
+    end: float
+    payload: Payload
+
+    def __post_init__(self) -> None:
+        if not self.end > self.start:
+            raise QueryBuildError(
+                f"event interval must satisfy end > start, got ({self.start}, {self.end}]"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Length of the validity interval."""
+        return self.end - self.start
+
+    def field(self, name: str) -> float:
+        """Return a named field of a structured payload."""
+        if not isinstance(self.payload, Mapping):
+            raise QueryBuildError(f"event payload is scalar; field {name!r} does not exist")
+        return float(self.payload[name])
+
+    def value(self) -> float:
+        """Return the scalar payload value."""
+        if isinstance(self.payload, Mapping):
+            raise QueryBuildError("event payload is structured; use .field(name)")
+        return float(self.payload)
+
+
+class EventStream:
+    """An in-order, bounded slice of an event stream.
+
+    The stream keeps its events sorted by start time.  Helper constructors
+    build streams from arrays (the common case for synthetic data generators)
+    or from point samples of a fixed-frequency signal.
+    """
+
+    def __init__(self, events: Sequence[Event], name: str = "stream", *, check_order: bool = True):
+        self.name = name
+        self._events: List[Event] = list(events)
+        if check_order:
+            self._check_order()
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_arrays(
+        cls,
+        starts: Sequence[float],
+        ends: Sequence[float],
+        values: Sequence[Payload],
+        name: str = "stream",
+    ) -> "EventStream":
+        """Build a stream from parallel arrays of starts, ends and payloads."""
+        starts = list(starts)
+        ends = list(ends)
+        values = list(values)
+        if not (len(starts) == len(ends) == len(values)):
+            raise QueryBuildError("starts, ends and values must have equal length")
+        events = [Event(float(s), float(e), v) for s, e, v in zip(starts, ends, values)]
+        return cls(events, name=name)
+
+    @classmethod
+    def from_samples(
+        cls,
+        values: Sequence[Payload],
+        period: float = 1.0,
+        start: float = 0.0,
+        name: str = "stream",
+    ) -> "EventStream":
+        """Build a fixed-frequency signal stream.
+
+        Sample ``i`` becomes an event valid over
+        ``(start + i*period, start + (i+1)*period]`` — the representation used
+        for the 1000 Hz synthetic signals and the ECG/vibration waveforms in
+        the paper's benchmark suite.
+        """
+        events = [
+            Event(start + i * period, start + (i + 1) * period, v)
+            for i, v in enumerate(values)
+        ]
+        return cls(events, name=name, check_order=False)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, idx: int) -> Event:
+        return self._events[idx]
+
+    @property
+    def events(self) -> List[Event]:
+        """The underlying event list (do not mutate)."""
+        return self._events
+
+    @property
+    def is_structured(self) -> bool:
+        """True when payloads are field mappings rather than scalars."""
+        return bool(self._events) and isinstance(self._events[0].payload, Mapping)
+
+    def fields(self) -> List[str]:
+        """Field names of a structured stream (empty for scalar streams)."""
+        if not self.is_structured:
+            return []
+        return list(self._events[0].payload.keys())  # type: ignore[union-attr]
+
+    def time_range(self) -> Tuple[float, float]:
+        """Return ``(min start, max end)`` over all events."""
+        if not self._events:
+            return (0.0, 0.0)
+        return (self._events[0].start, max(e.end for e in self._events))
+
+    def starts(self) -> np.ndarray:
+        """Event start times as a float64 array."""
+        return np.array([e.start for e in self._events], dtype=np.float64)
+
+    def ends(self) -> np.ndarray:
+        """Event end times as a float64 array."""
+        return np.array([e.end for e in self._events], dtype=np.float64)
+
+    def values(self, field: Optional[str] = None) -> np.ndarray:
+        """Scalar payloads (or one field of structured payloads) as float64."""
+        if field is None:
+            return np.array([e.value() for e in self._events], dtype=np.float64)
+        return np.array([e.field(field) for e in self._events], dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # transformations
+    # ------------------------------------------------------------------ #
+    def select_field(self, field: str, name: Optional[str] = None) -> "EventStream":
+        """Project a structured stream onto a single scalar field."""
+        events = [Event(e.start, e.end, e.field(field)) for e in self._events]
+        return EventStream(events, name=name or f"{self.name}.{field}", check_order=False)
+
+    def filter(self, predicate) -> "EventStream":
+        """Return a new stream with only the events satisfying ``predicate``."""
+        return EventStream(
+            [e for e in self._events if predicate(e)], name=self.name, check_order=False
+        )
+
+    def slice_time(self, start: float, end: float) -> "EventStream":
+        """Events whose interval intersects ``(start, end]``."""
+        kept = [e for e in self._events if e.end > start and e.start < end]
+        return EventStream(kept, name=self.name, check_order=False)
+
+    def partition_by(self, key_field: str) -> Dict[float, "EventStream"]:
+        """Split a structured stream into per-key sub-streams.
+
+        This models the partitioned-stream parallelism that the paper notes
+        is the *only* parallelization option in Trill-like engines.
+        """
+        groups: Dict[float, List[Event]] = {}
+        for e in self._events:
+            groups.setdefault(e.field(key_field), []).append(e)
+        return {
+            k: EventStream(v, name=f"{self.name}[{key_field}={k}]", check_order=False)
+            for k, v in groups.items()
+        }
+
+    def concat(self, other: "EventStream") -> "EventStream":
+        """Concatenate two streams and re-sort by start time."""
+        merged = sorted(self._events + other._events, key=lambda e: (e.start, e.end))
+        return EventStream(merged, name=self.name, check_order=False)
+
+    # ------------------------------------------------------------------ #
+    # internal helpers
+    # ------------------------------------------------------------------ #
+    def _check_order(self) -> None:
+        prev = -np.inf
+        for e in self._events:
+            if e.start < prev:
+                raise StreamOrderError(
+                    f"stream {self.name!r}: event starting at {e.start} arrived after {prev}"
+                )
+            prev = e.start
+
+
+def interleave(streams: Iterable[EventStream], name: str = "interleaved") -> EventStream:
+    """Merge several in-order streams into one in-order stream."""
+    events: List[Event] = []
+    for s in streams:
+        events.extend(s.events)
+    events.sort(key=lambda e: (e.start, e.end))
+    return EventStream(events, name=name, check_order=False)

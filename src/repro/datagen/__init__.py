@@ -1,0 +1,21 @@
+"""Synthetic data generators standing in for the paper's datasets."""
+
+from .generators import (
+    credit_card_stream,
+    ecg_stream,
+    random_signal_stream,
+    stock_price_stream,
+    uniform_value_stream,
+    vibration_stream,
+    ysb_stream,
+)
+
+__all__ = [
+    "stock_price_stream",
+    "random_signal_stream",
+    "ecg_stream",
+    "vibration_stream",
+    "credit_card_stream",
+    "ysb_stream",
+    "uniform_value_stream",
+]

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the TiLT reproduction.
+
+Every error raised by the library derives from :class:`TiltError` so callers
+can catch a single base class.  Sub-classes are grouped by pipeline stage:
+query construction, IR validation, boundary resolution, compilation, and
+runtime execution.
+"""
+
+from __future__ import annotations
+
+
+class TiltError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class QueryBuildError(TiltError):
+    """The frontend query description is malformed (bad operator arguments,
+    unknown input, incompatible window parameters, ...)."""
+
+
+class ValidationError(TiltError):
+    """A TiLT IR program failed structural validation."""
+
+
+class BoundaryResolutionError(TiltError):
+    """Temporal lineage could not be resolved to finite boundary margins."""
+
+
+class CompilationError(TiltError):
+    """Lowering the IR to an executable kernel failed."""
+
+
+class ExecutionError(TiltError):
+    """A compiled query failed while running."""
+
+
+class UnsupportedOperationError(TiltError):
+    """An engine was asked to run an operator it does not implement.
+
+    The baseline engines (Grizzly-like, LightSaber-like) raise this for
+    temporal joins and other operators outside their aggregation-only
+    vocabulary, mirroring the coverage limitations reported in the paper.
+    """
+
+
+class OverlappingEventsError(TiltError):
+    """An event stream contains events with overlapping validity intervals
+    where the operation requires disjoint intervals."""
+
+
+class StreamOrderError(TiltError):
+    """Events were supplied out of (start-time) order."""

@@ -1,0 +1,34 @@
+"""Measurement harness: throughput, latency-bounded throughput and reports."""
+
+from .latency import (
+    LatencySweepPoint,
+    baseline_latency_sweep,
+    events_to_interval,
+    tilt_latency_sweep,
+)
+from .report import (
+    arithmetic_mean,
+    format_sweep,
+    format_table,
+    geometric_mean,
+    speedups,
+    throughput_table,
+)
+from .throughput import ThroughputResult, baseline_throughput, measure, tilt_throughput
+
+__all__ = [
+    "ThroughputResult",
+    "measure",
+    "tilt_throughput",
+    "baseline_throughput",
+    "LatencySweepPoint",
+    "tilt_latency_sweep",
+    "baseline_latency_sweep",
+    "events_to_interval",
+    "format_table",
+    "throughput_table",
+    "speedups",
+    "geometric_mean",
+    "arithmetic_mean",
+    "format_sweep",
+]

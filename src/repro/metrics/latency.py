@@ -1,0 +1,104 @@
+"""Latency-bounded throughput (Figure 9 of the paper).
+
+A streaming engine cannot wait for the whole dataset before emitting
+results: the batch (or snapshot-buffer) size bounds the result latency, and
+small batches expose the engine's per-batch overheads.  The paper sweeps the
+batch size from 10 to 1M events and reports the throughput at each point;
+TiLT stays flat across the sweep while Trill collapses at small batches.
+
+For the TiLT engine the equivalent knob is the partition interval (the
+"user-defined interval size" of Section 6.2): a smaller interval means the
+engine produces output for a shorter time span at a time.  For the baseline
+engines the knob is the micro-batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..apps.base import StreamingApplication
+from ..core.runtime.engine import TiltEngine
+from ..core.runtime.stream import EventStream
+from .throughput import ThroughputResult, measure
+
+__all__ = ["LatencySweepPoint", "tilt_latency_sweep", "baseline_latency_sweep", "events_to_interval"]
+
+
+@dataclass
+class LatencySweepPoint:
+    """Throughput measured at one batch-size setting."""
+
+    batch_events: int
+    result: ThroughputResult
+
+    @property
+    def events_per_second(self) -> float:
+        return self.result.events_per_second
+
+
+def events_to_interval(streams: Dict[str, EventStream], batch_events: int) -> float:
+    """Convert a batch size in events into a time interval for partitioning.
+
+    Uses the average event rate of the inputs, so a partition of the returned
+    length contains roughly ``batch_events`` events.
+    """
+    total_events = sum(len(s) for s in streams.values())
+    spans = [s.time_range() for s in streams.values() if len(s)]
+    if not spans or total_events == 0:
+        return 1.0
+    duration = max(hi for _, hi in spans) - min(lo for lo, _ in spans)
+    if duration <= 0:
+        return 1.0
+    rate = total_events / duration
+    return max(batch_events / rate, 1e-9)
+
+
+def tilt_latency_sweep(
+    app: StreamingApplication,
+    streams: Dict[str, EventStream],
+    batch_sizes: Sequence[int],
+    *,
+    workers: int = 1,
+) -> List[LatencySweepPoint]:
+    """Latency-bounded throughput of the TiLT engine across batch sizes."""
+    points: List[LatencySweepPoint] = []
+    input_events = app.total_events(streams)
+    program = app.program()
+    for batch in batch_sizes:
+        interval = events_to_interval(streams, batch)
+        engine = TiltEngine(workers=workers, partition_interval=interval)
+        compiled = engine.compile(program)
+        result = measure(
+            lambda: engine.run(compiled, streams),
+            engine=f"tilt[batch={batch}]",
+            workload=app.name,
+            input_events=input_events,
+        )
+        points.append(LatencySweepPoint(batch_events=batch, result=result))
+    return points
+
+
+def baseline_latency_sweep(
+    app: StreamingApplication,
+    engine_factory: Callable[[int], object],
+    streams: Dict[str, EventStream],
+    batch_sizes: Sequence[int],
+) -> List[LatencySweepPoint]:
+    """Latency-bounded throughput of a baseline engine across batch sizes.
+
+    ``engine_factory(batch_size)`` must return a configured engine instance.
+    """
+    points: List[LatencySweepPoint] = []
+    input_events = app.total_events(streams)
+    query = app.query()
+    for batch in batch_sizes:
+        engine = engine_factory(batch)
+        result = measure(
+            lambda: engine.run(query, streams),
+            engine=f"{engine.name}[batch={batch}]",
+            workload=app.name,
+            input_events=input_events,
+        )
+        points.append(LatencySweepPoint(batch_events=batch, result=result))
+    return points

@@ -1,0 +1,113 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+The benchmark scripts print the same rows/series the paper's tables and
+figures report; these helpers format them consistently and compute the
+summary statistics the paper quotes (per-benchmark speedups and their
+geometric mean / average).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .throughput import ThroughputResult
+
+__all__ = [
+    "format_table",
+    "throughput_table",
+    "speedups",
+    "geometric_mean",
+    "arithmetic_mean",
+    "format_sweep",
+]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple aligned text table."""
+    str_rows = [[_fmt_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def throughput_table(results: Mapping[str, Mapping[str, ThroughputResult]]) -> str:
+    """Format a {workload: {engine: result}} mapping as a throughput table.
+
+    Throughput is reported in million events per second, the unit used by
+    the paper's figures.
+    """
+    engines: List[str] = []
+    for per_engine in results.values():
+        for engine in per_engine:
+            if engine not in engines:
+                engines.append(engine)
+    headers = ["workload"] + [f"{e} (Mev/s)" for e in engines]
+    rows = []
+    for workload, per_engine in results.items():
+        row: List[object] = [workload]
+        for engine in engines:
+            result = per_engine.get(engine)
+            row.append(result.millions_per_second if result else "-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def speedups(
+    results: Mapping[str, Mapping[str, ThroughputResult]],
+    *,
+    subject: str,
+    baseline: str,
+) -> Dict[str, float]:
+    """Per-workload speedup of ``subject`` over ``baseline``."""
+    out: Dict[str, float] = {}
+    for workload, per_engine in results.items():
+        if subject in per_engine and baseline in per_engine:
+            out[workload] = per_engine[subject].speedup_over(per_engine[baseline])
+    return out
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (returns 0 for an empty input)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (returns 0 for an empty input)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def format_sweep(label: str, points: Sequence) -> str:
+    """Format a latency/scalability sweep as ``x -> Mev/s`` pairs."""
+    parts = [
+        f"{getattr(p, 'batch_events', getattr(p, 'workers', '?'))}: "
+        f"{p.events_per_second / 1e6:.2f}"
+        for p in points
+    ]
+    return f"{label}: " + ", ".join(parts)

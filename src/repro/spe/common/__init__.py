@@ -1,0 +1,29 @@
+"""Shared infrastructure of the baseline (event-centric) engines."""
+
+from .batches import ColumnarBatch, batches_from_stream, stream_from_batches
+from .expreval import eval_event_expr
+from .operators import (
+    ChopOperator,
+    MergeJoinOperator,
+    NestedLoopJoinOperator,
+    SelectOperator,
+    ShiftOperator,
+    StatefulOperator,
+    WhereOperator,
+    WindowAggregateOperator,
+)
+
+__all__ = [
+    "ColumnarBatch",
+    "batches_from_stream",
+    "stream_from_batches",
+    "eval_event_expr",
+    "StatefulOperator",
+    "SelectOperator",
+    "WhereOperator",
+    "ShiftOperator",
+    "ChopOperator",
+    "WindowAggregateOperator",
+    "MergeJoinOperator",
+    "NestedLoopJoinOperator",
+]

@@ -1,0 +1,122 @@
+"""Vectorized (batch-at-a-time) evaluation of frontend scalar expressions.
+
+The compiler-based baselines (the Grizzly-like and LightSaber-like engines)
+process whole micro-batches at once rather than event-by-event, so their
+Select/Where expressions are evaluated over NumPy arrays.  This is a small
+recursive evaluator over the TiLT scalar expression nodes; it has the same
+φ-propagation semantics as the scalar evaluator in
+:mod:`repro.spe.common.expreval`, returning a ``(values, valid)`` array pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ...core.ir.nodes import (
+    BinOp,
+    Call,
+    Coalesce,
+    Const,
+    Expr,
+    IfThenElse,
+    IsValid,
+    Let,
+    Phi,
+    UnaryOp,
+    Var,
+)
+from ...core.ops import (
+    NUMPY_BINOP_DOMAIN,
+    NUMPY_BINOPS,
+    NUMPY_CALL_DOMAIN,
+    NUMPY_CALLS,
+    NUMPY_UNOP_DOMAIN,
+    NUMPY_UNOPS,
+)
+from ...errors import ExecutionError
+
+__all__ = ["eval_expr_vectorized"]
+
+ArrayResult = Tuple[np.ndarray, np.ndarray]
+
+
+def _apply_template(template: str, **arrays: np.ndarray) -> np.ndarray:
+    # The NumPy operator templates in repro.core.ops are written for the code
+    # generator; here we evaluate them directly with a restricted namespace.
+    namespace = {"_np": np}
+    namespace.update(arrays)
+    return eval(template.format(**{k: k for k in arrays}), namespace)  # noqa: S307
+
+
+def _apply_call_template(template: str, args) -> np.ndarray:
+    names = {f"a{i}": arg for i, arg in enumerate(args)}
+    namespace = {"_np": np}
+    namespace.update(names)
+    return eval(template.format(*names.keys()), namespace)  # noqa: S307
+
+
+def eval_expr_vectorized(expr: Expr, bindings: Dict[str, ArrayResult], n: int) -> ArrayResult:
+    """Evaluate ``expr`` over arrays of length ``n``.
+
+    ``bindings`` maps placeholder variable names to ``(values, valid)`` array
+    pairs (e.g. ``{"%payload": (payloads, ones)}``).
+    """
+    if isinstance(expr, Const):
+        return np.full(n, expr.value), np.ones(n, dtype=bool)
+    if isinstance(expr, Phi):
+        return np.zeros(n), np.zeros(n, dtype=bool)
+    if isinstance(expr, Var):
+        if expr.name not in bindings:
+            raise ExecutionError(f"unbound variable {expr.name!r}")
+        return bindings[expr.name]
+    if isinstance(expr, BinOp):
+        lv, lk = eval_expr_vectorized(expr.lhs, bindings, n)
+        rv, rk = eval_expr_vectorized(expr.rhs, bindings, n)
+        values = _apply_template(NUMPY_BINOPS[expr.op], a=lv, b=rv)
+        valid = lk & rk
+        domain = NUMPY_BINOP_DOMAIN.get(expr.op)
+        if domain is not None:
+            valid = valid & _apply_template(domain, a=lv, b=rv)
+        return np.asarray(values, dtype=np.float64), valid
+    if isinstance(expr, UnaryOp):
+        ov, ok = eval_expr_vectorized(expr.operand, bindings, n)
+        values = _apply_template(NUMPY_UNOPS[expr.op], a=ov)
+        valid = ok
+        domain = NUMPY_UNOP_DOMAIN.get(expr.op)
+        if domain is not None:
+            valid = valid & _apply_template(domain, a=ov)
+        return np.asarray(values, dtype=np.float64), valid
+    if isinstance(expr, IfThenElse):
+        cv, ck = eval_expr_vectorized(expr.cond, bindings, n)
+        tv, tk = eval_expr_vectorized(expr.then, bindings, n)
+        ev, ek = eval_expr_vectorized(expr.orelse, bindings, n)
+        values = np.where(cv != 0, tv, ev)
+        valid = ck & np.where(cv != 0, tk, ek)
+        return values, valid
+    if isinstance(expr, IsValid):
+        _, ok = eval_expr_vectorized(expr.operand, bindings, n)
+        return ok.astype(np.float64), np.ones(n, dtype=bool)
+    if isinstance(expr, Coalesce):
+        ov, ok = eval_expr_vectorized(expr.operand, bindings, n)
+        dv, dk = eval_expr_vectorized(expr.default, bindings, n)
+        return np.where(ok, ov, dv), ok | dk
+    if isinstance(expr, Call):
+        pairs = [eval_expr_vectorized(a, bindings, n) for a in expr.args]
+        values = _apply_call_template(NUMPY_CALLS[expr.func], [p[0] for p in pairs])
+        valid = np.ones(n, dtype=bool)
+        for _, ok in pairs:
+            valid = valid & ok
+        domain = NUMPY_CALL_DOMAIN.get(expr.func)
+        if domain is not None:
+            valid = valid & _apply_call_template(domain, [p[0] for p in pairs])
+        return np.asarray(values, dtype=np.float64), valid
+    if isinstance(expr, Let):
+        scope = dict(bindings)
+        for name, value in expr.bindings:
+            scope[name] = eval_expr_vectorized(value, scope, n)
+        return eval_expr_vectorized(expr.body, scope, n)
+    raise ExecutionError(
+        f"vectorized evaluation does not support node type {type(expr).__name__}"
+    )

@@ -1,0 +1,5 @@
+"""Grizzly-like compiler-based baseline engine (aggregation only, shared state)."""
+
+from .engine import GrizzlyEngine
+
+__all__ = ["GrizzlyEngine"]

@@ -1,0 +1,5 @@
+"""LightSaber-like compiler-based baseline engine (pane-based aggregation)."""
+
+from .engine import LightSaberEngine
+
+__all__ = ["LightSaberEngine"]

@@ -1,0 +1,5 @@
+"""StreamBox-like interpreted baseline engine (pipeline parallel, O(n²) join)."""
+
+from .engine import StreamBoxEngine
+
+__all__ = ["StreamBoxEngine"]

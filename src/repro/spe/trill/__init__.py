@@ -1,0 +1,5 @@
+"""Trill-like interpreted baseline engine."""
+
+from .engine import TrillEngine
+
+__all__ = ["TrillEngine"]

@@ -1,0 +1,98 @@
+"""Sparse-table range-min/range-max index.
+
+Non-invertible aggregates such as Max and Min cannot use Subtract-on-Evict
+or prefix sums.  The sparse table precomputes min/max over every
+power-of-two span in O(n log n) and answers an arbitrary range query with
+two lookups.  Queries are fully vectorized over NumPy arrays, which is what
+the code-generation backend needs when it evaluates a Max/Min reduction at
+thousands of output time points at once.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .prefix import snapshot_range_indices
+
+__all__ = ["SparseTableRMQ"]
+
+
+class SparseTableRMQ:
+    """Range max/min query structure over snapshot values.
+
+    Parameters
+    ----------
+    times, interval_starts:
+        Snapshot timing arrays (used to translate time windows to index
+        ranges).
+    values, valid:
+        Snapshot values and validity mask; invalid snapshots never win a
+        query.
+    mode:
+        ``'max'`` or ``'min'``.
+    """
+
+    def __init__(
+        self,
+        times: np.ndarray,
+        interval_starts: np.ndarray,
+        values: np.ndarray,
+        valid: np.ndarray,
+        mode: str = "max",
+    ):
+        if mode not in ("max", "min"):
+            raise ValueError("mode must be 'max' or 'min'")
+        self.mode = mode
+        self.times = np.asarray(times, dtype=np.float64)
+        self.interval_starts = np.asarray(interval_starts, dtype=np.float64)
+        valid = np.asarray(valid, dtype=bool)
+        n = len(self.times)
+        fill = -np.inf if mode == "max" else np.inf
+        base = np.where(valid, np.asarray(values, dtype=np.float64), fill)
+        self._valid_prefix = np.concatenate(([0.0], np.cumsum(valid.astype(np.float64))))
+        self._levels = [base]
+        self._reduce = np.maximum if mode == "max" else np.minimum
+        # level k answers queries over spans of 2**k; level k+1 combines two
+        # overlapping level-k entries and has length n - 2**(k+1) + 1.
+        span = 1
+        while span * 2 <= n:
+            prev = self._levels[-1]
+            new_len = n - 2 * span + 1
+            nxt = self._reduce(prev[:new_len], prev[span : span + new_len])
+            self._levels.append(nxt)
+            span *= 2
+
+    def query_indices(self, lo: np.ndarray, hi: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Aggregate over snapshot index ranges ``[lo, hi)`` (vectorized)."""
+        lo = np.asarray(lo, dtype=np.int64)
+        hi = np.asarray(hi, dtype=np.int64)
+        hi = np.maximum(hi, lo)
+        counts = self._valid_prefix[hi] - self._valid_prefix[lo]
+        lengths = hi - lo
+        results = np.full(len(lo), 0.0)
+        nonempty = lengths > 0
+        if np.any(nonempty):
+            ln = lengths[nonempty]
+            k = np.floor(np.log2(ln)).astype(np.int64)
+            out = np.empty(len(ln))
+            for level in np.unique(k):
+                sel = k == level
+                span = 1 << int(level)
+                table = self._levels[int(level)]
+                a = table[lo[nonempty][sel]]
+                b = table[hi[nonempty][sel] - span]
+                out[sel] = self._reduce(a, b)
+            results[nonempty] = out
+        valid = counts > 0
+        return np.where(valid, results, 0.0), valid
+
+    def query(
+        self, window_starts: np.ndarray, window_ends: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Aggregate over time windows ``(ws_i, we_i]`` (vectorized)."""
+        lo, hi = snapshot_range_indices(
+            self.times, self.interval_starts, np.asarray(window_starts), np.asarray(window_ends)
+        )
+        return self.query_indices(lo, hi)

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.runtime.ssbuf import SSBuf, ssbuf_from_stream
+from repro.core.runtime.stream import Event, EventStream
+
+
+@pytest.fixture
+def simple_events():
+    """Three disjoint events with a gap (the Figure 5 example, scaled)."""
+    return [
+        Event(5.0, 10.0, 1.0),
+        Event(16.0, 23.0, 2.0),
+        Event(30.0, 35.0, 3.0),
+    ]
+
+
+@pytest.fixture
+def simple_stream(simple_events):
+    return EventStream(simple_events, name="simple")
+
+
+@pytest.fixture
+def simple_buf(simple_stream):
+    return ssbuf_from_stream(simple_stream)
+
+
+@pytest.fixture
+def regular_stream():
+    """A 1 Hz sampled stream of 100 increasing values."""
+    values = np.arange(100, dtype=float)
+    return EventStream.from_samples(values, period=1.0, name="regular")
+
+
+@pytest.fixture
+def regular_buf(regular_stream):
+    return ssbuf_from_stream(regular_stream)
+
+
+@pytest.fixture
+def random_walk_stream():
+    """A 1 Hz random-walk price stream of 300 events (seeded)."""
+    rng = np.random.default_rng(42)
+    values = 100.0 + np.cumsum(rng.normal(0.0, 1.0, 300))
+    return EventStream.from_samples(values, period=1.0, name="stock")
+
+
+@pytest.fixture
+def random_walk_buf(random_walk_stream):
+    return ssbuf_from_stream(random_walk_stream)
+
+
+def assert_buffers_equivalent(a: SSBuf, b: SSBuf, grid: np.ndarray, rtol=1e-9, atol=1e-12):
+    """Assert two snapshot buffers define the same temporal object on a grid."""
+    av, ak = a.values_at(grid)
+    bv, bk = b.values_at(grid)
+    assert np.array_equal(ak, bk), "validity masks differ"
+    assert np.allclose(av[ak], bv[bk], rtol=rtol, atol=atol), "values differ"

@@ -1,0 +1,166 @@
+"""Tests for the benchmark applications: structure, executability and sanity
+of the analytics each query is supposed to perform."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    ALL_APPLICATIONS,
+    FRAUD_DETECTION,
+    IMPUTATION,
+    NORMALIZATION,
+    PAN_TOMPKINS,
+    PRIMITIVE_OPERATIONS,
+    REAL_WORLD_APPLICATIONS,
+    RSI,
+    TREND_TRADING,
+    VIBRATION,
+    YSB,
+    get_application,
+)
+from repro.core.ir import validate_program
+from repro.core.lineage import resolve_boundaries
+from repro.spe import TrillEngine
+from repro.core.runtime.ssbuf import ssbuf_from_stream
+
+
+class TestRegistry:
+    def test_eight_real_world_applications(self):
+        assert len(REAL_WORLD_APPLICATIONS) == 8
+        names = [app.name for app in REAL_WORLD_APPLICATIONS]
+        assert names == [
+            "trading", "rsi", "normalize", "impute", "resample", "pantom", "vibration", "frauddet",
+        ]
+
+    def test_four_primitive_operations(self):
+        assert [a.name for a in PRIMITIVE_OPERATIONS] == ["select", "where", "wsum", "join"]
+
+    def test_lookup(self):
+        assert get_application("ysb") is YSB
+        with pytest.raises(KeyError):
+            get_application("nope")
+
+    def test_metadata_present(self):
+        for app in ALL_APPLICATIONS.values():
+            assert app.title and app.description and app.operators and app.dataset
+
+
+class TestProgramsCompile:
+    @pytest.mark.parametrize("name", sorted(ALL_APPLICATIONS))
+    def test_program_validates_and_resolves(self, name):
+        app = ALL_APPLICATIONS[name]
+        program = app.program()
+        validate_program(program)
+        spec = resolve_boundaries(program)
+        assert spec.max_lookback >= 0.0
+
+    @pytest.mark.parametrize("name", sorted(ALL_APPLICATIONS))
+    def test_streams_match_program_inputs(self, name):
+        app = ALL_APPLICATIONS[name]
+        streams = app.streams(200, seed=0)
+        program = app.program()
+        available = set()
+        for stream_name, stream in streams.items():
+            if stream.is_structured:
+                available.update(f"{stream_name}.{f}" for f in stream.fields())
+            else:
+                available.add(stream_name)
+        assert set(program.inputs) <= available
+
+
+class TestApplicationSemantics:
+    def test_trend_trading_detects_uptrends(self):
+        streams = TREND_TRADING.streams(2000, seed=3)
+        result = TREND_TRADING.run_tilt(streams, workers=2)
+        out = result.output
+        assert 0 < out.num_valid()
+        # every reported value is a positive short-minus-long average gap
+        assert np.all(out.values[out.valid] > 0)
+
+    def test_rsi_values_bounded(self):
+        streams = RSI.streams(1500, seed=4)
+        out = RSI.run_tilt(streams).output
+        values = out.values[out.valid]
+        assert len(values) > 0
+        assert np.all(values >= 0.0) and np.all(values <= 100.0)
+
+    def test_normalization_zero_mean_unit_std(self):
+        streams = NORMALIZATION.streams(5000, seed=5)
+        out = NORMALIZATION.run_tilt(streams).output
+        values = out.values[out.valid]
+        assert abs(np.mean(values)) < 0.2
+        assert 0.7 < np.std(values) < 1.3
+
+    def test_imputation_fills_gaps(self):
+        streams = IMPUTATION.streams(4000, seed=6)
+        signal = streams["signal"]
+        out = IMPUTATION.run_tilt(streams).output
+        buf = ssbuf_from_stream(signal)
+        t_lo, t_hi = signal.time_range()
+        grid = np.linspace(t_lo + 0.2 * (t_hi - t_lo), t_hi, 500)
+        raw_v, raw_ok = buf.values_at(grid)
+        imp_v, imp_ok = out.values_at(grid)
+        # imputed stream is defined (almost) everywhere the raw one is, and more
+        assert imp_ok.sum() > raw_ok.sum()
+        # where the raw signal exists, imputation must not change it
+        both = raw_ok & imp_ok
+        assert np.allclose(raw_v[both], imp_v[both])
+
+    def test_pan_tompkins_detects_plausible_heart_rate(self):
+        streams = PAN_TOMPKINS.streams(128 * 40, seed=7)   # ~40 seconds of ECG
+        out = PAN_TOMPKINS.run_tilt(streams, workers=2).output
+        detections = out.to_events()
+        assert detections
+        # count distinct QRS bursts (gaps > 0.3 s between detections)
+        burst_count = 1
+        for prev, cur in zip(detections, detections[1:]):
+            if cur.start - prev.end > 0.3:
+                burst_count += 1
+        duration_minutes = 40.0 / 60.0
+        bpm = burst_count / duration_minutes
+        assert 40 <= bpm <= 140
+
+    def test_vibration_alerts_on_impulsive_windows(self):
+        streams = VIBRATION.streams(30000, seed=8)
+        out = VIBRATION.run_tilt(streams).output
+        assert out.num_valid() > 0
+        assert np.all(out.values[out.valid] > 4.0)
+
+    def test_fraud_detection_flags_inflated_amounts(self):
+        streams = FRAUD_DETECTION.streams(8000, seed=9)
+        out = FRAUD_DETECTION.run_tilt(streams, workers=2).output
+        flagged = out.values[out.valid]
+        amounts = streams["transactions"].values("amount")
+        assert len(flagged) > 0
+        # flagged amounts are far in the tail of the distribution
+        assert np.median(flagged) > np.percentile(amounts, 90)
+
+    def test_ysb_counts_views(self):
+        streams = YSB.streams(40_000, seed=10)
+        out = YSB.run_tilt(streams, workers=2).output
+        counts = out.values[out.valid]
+        types = streams["ads"].values("event_type")
+        assert counts.sum() == pytest.approx(np.sum(types == 0.0))
+
+
+class TestBaselineParity:
+    @pytest.mark.parametrize("name", ["trading", "normalize", "ysb", "wsum", "join"])
+    def test_trill_matches_tilt(self, name):
+        app = ALL_APPLICATIONS[name]
+        streams = app.streams(1500, seed=11)
+        tilt = app.run_tilt(streams, workers=2).output
+        trill = app.run_baseline(TrillEngine(batch_size=512), streams)
+        assert len(trill) > 0
+        tb = ssbuf_from_stream(trill, on_overlap="last")
+        lo, hi = tilt.start_time, tilt.end_time
+        grid = np.linspace(lo + 0.1 * (hi - lo), hi - 0.05 * (hi - lo), 200)
+        tv, tk = tilt.values_at(grid)
+        bv, bk = tb.values_at(grid)
+        assert np.array_equal(tk, bk)
+        assert np.allclose(tv[tk], bv[bk], rtol=1e-6)
+
+    def test_run_baseline_helper(self):
+        app = ALL_APPLICATIONS["select"]
+        streams = app.streams(100, seed=1)
+        out = app.run_baseline(TrillEngine(), streams)
+        assert len(out) == 100

@@ -1,0 +1,119 @@
+"""Tests for temporal lineage analysis and boundary resolution (Section 5.1)."""
+
+import pytest
+
+from repro.core.frontend.query import LEFT, PAYLOAD, RIGHT, source
+from repro.core.ir import IRBuilder, TDom, TemporalExpr, TIndex, TiltProgram, when
+from repro.core.lineage import (
+    AccessPattern,
+    BoundarySpec,
+    collect_accesses,
+    compose_extents,
+    resolve_boundaries,
+)
+from repro.errors import BoundaryResolutionError
+from repro.windowing import MEAN, SUM
+
+E = PAYLOAD
+
+
+class TestAccessPatterns:
+    def test_collect_accesses(self):
+        b = IRBuilder()
+        stock = b.stream("stock")
+        expr = stock.window(-10, 0).reduce(SUM) + stock.at(-3.0)
+        accesses = collect_accesses(expr)
+        assert accesses["stock"].windows == {(-10.0, 0.0)}
+        assert accesses["stock"].point_offsets == {-3.0}
+        assert accesses["stock"].min_offset == -10.0
+        assert accesses["stock"].max_offset == 0.0
+        assert accesses["stock"].boundary_offsets() == {-10.0, 0.0, -3.0}
+
+    def test_access_pattern_merge(self):
+        a = AccessPattern({1.0}, {(-5.0, 0.0)})
+        b = AccessPattern({-2.0}, set())
+        a.merge(b)
+        assert a.point_offsets == {1.0, -2.0}
+
+
+class TestComposeExtents:
+    def test_trend_query_lineage(self):
+        """The paper's example: ~filter depends on ~stock over (T-20, T]."""
+        stock = source("stock")
+        avg10 = stock.window(10, 1).aggregate(MEAN)
+        avg20 = stock.window(20, 1).aggregate(MEAN)
+        trend = avg10.join(avg20, LEFT - RIGHT).where(E > 0)
+        program = trend.to_program()
+        extents = compose_extents(program, program.output)
+        assert extents["stock"] == (-20.0, 0.0)
+
+    def test_chained_offsets_compose_additively(self):
+        b = IRBuilder()
+        x = b.stream("x")
+        mid = b.define("mid", x.at(-5.0))
+        b.define("out", mid.at(-3.0))
+        extents = compose_extents(b.build(), "out")
+        assert extents["x"] == (-8.0, -8.0)
+
+    def test_window_over_shifted_producer(self):
+        b = IRBuilder()
+        x = b.stream("x")
+        shifted = b.define("shifted", x.at(-2.0))
+        b.define("out", shifted.window(-10, 0).reduce(SUM))
+        extents = compose_extents(b.build(), "out")
+        assert extents["x"] == (-12.0, -2.0)
+
+    def test_input_extent_of_itself(self):
+        b = IRBuilder()
+        x = b.stream("x")
+        b.define("out", x.at(0.0))
+        assert compose_extents(b.build(), "x") == {"x": (0.0, 0.0)}
+
+
+class TestBoundarySpec:
+    def test_resolve_trend(self):
+        stock = source("stock")
+        trend = (
+            stock.window(10, 1).aggregate(MEAN)
+            .join(stock.window(20, 1).aggregate(MEAN), LEFT - RIGHT)
+            .where(E > 0)
+        )
+        spec = resolve_boundaries(trend.to_program())
+        assert spec.lookback("stock") == 20.0
+        assert spec.lookahead("stock") == 0.0
+        assert spec.max_lookback == 20.0
+        assert spec.input_interval("stock", 100.0, 200.0) == (80.0, 200.0)
+        assert "Ts-20" in spec.describe()
+
+    def test_lookahead_from_negative_shift(self):
+        # an expression reading the *future* produces a lookahead margin
+        b = IRBuilder()
+        x = b.stream("x")
+        b.define("out", x.at(5.0))
+        spec = resolve_boundaries(b.build())
+        assert spec.lookahead("x") == 5.0
+        assert spec.lookback("x") == 0.0
+
+    def test_multiple_inputs(self):
+        left = source("left").shift(3.0)
+        right = source("right").window(7, 1).aggregate(MEAN)
+        joined = left.join(right, LEFT + RIGHT)
+        spec = resolve_boundaries(joined.to_program())
+        assert spec.lookback("left") == 3.0
+        assert spec.lookback("right") == 7.0
+
+    def test_unused_input_defaults_to_zero(self):
+        b = IRBuilder()
+        b.stream("used")
+        b.stream("unused")
+        x = b.define("out", TIndex("used", 0.0))
+        spec = resolve_boundaries(b.build(output="out"))
+        assert spec.margins["unused"] == (0.0, 0.0)
+
+    def test_unbounded_extent_rejected(self):
+        import math
+
+        te = TemporalExpr("out", TDom(), TIndex("x", -math.inf))
+        program = TiltProgram(("x",), (te,), "out")
+        with pytest.raises(BoundaryResolutionError):
+            resolve_boundaries(program)

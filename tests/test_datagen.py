@@ -1,0 +1,113 @@
+"""Tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    credit_card_stream,
+    ecg_stream,
+    random_signal_stream,
+    stock_price_stream,
+    uniform_value_stream,
+    vibration_stream,
+    ysb_stream,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            stock_price_stream,
+            random_signal_stream,
+            ecg_stream,
+            vibration_stream,
+            credit_card_stream,
+            ysb_stream,
+            uniform_value_stream,
+        ],
+    )
+    def test_same_seed_same_stream(self, factory):
+        a = factory(500, seed=5)
+        b = factory(500, seed=5)
+        assert len(a) == len(b) == 500
+        assert a[0].payload == b[0].payload
+        assert a[-1].payload == b[-1].payload
+
+    def test_different_seeds_differ(self):
+        a = stock_price_stream(100, seed=1)
+        b = stock_price_stream(100, seed=2)
+        assert a.values().tolist() != b.values().tolist()
+
+
+class TestStockPrices:
+    def test_positive_prices_and_rate(self):
+        s = stock_price_stream(1000, seed=3, tick_period=1.0)
+        assert np.all(s.values() > 0)
+        assert s.time_range() == (0.0, 1000.0)
+
+
+class TestSignal:
+    def test_frequency(self):
+        s = random_signal_stream(2000, frequency_hz=1000.0)
+        assert s.time_range()[1] == pytest.approx(2.0)
+
+    def test_missing_fraction_creates_gaps(self):
+        full = random_signal_stream(2000, seed=1, missing_fraction=0.0)
+        gappy = random_signal_stream(2000, seed=1, missing_fraction=0.2)
+        assert len(gappy) < len(full)
+        assert len(gappy) > 1000
+
+
+class TestEcg:
+    def test_qrs_spikes_present(self):
+        s = ecg_stream(128 * 20, seed=2, frequency_hz=128.0, heart_rate_bpm=60.0)
+        values = s.values()
+        # roughly one dominant R peak per second: the max is much larger than the median
+        assert values.max() > 0.7
+        assert np.median(np.abs(values)) < 0.3
+
+
+class TestVibration:
+    def test_impulses_increase_kurtosis(self):
+        s = vibration_stream(8192, seed=4, frequency_hz=8192.0)
+        values = s.values()
+        kurt = np.mean((values - values.mean()) ** 4) / np.var(values) ** 2
+        assert kurt > 3.5  # impulsive signal is super-Gaussian
+
+
+class TestCreditCard:
+    def test_schema_and_non_overlap(self):
+        s = credit_card_stream(500, seed=6)
+        assert s.is_structured
+        assert set(s.fields()) == {"user", "amount", "is_fraud"}
+        ends = s.ends()
+        starts = s.starts()
+        assert np.all(starts[1:] >= ends[:-1] - 1e-12)
+
+    def test_fraud_events_have_large_amounts(self):
+        s = credit_card_stream(5000, seed=7, fraud_fraction=0.01)
+        amounts = s.values("amount")
+        fraud = s.values("is_fraud") > 0
+        assert fraud.sum() > 0
+        assert amounts[fraud].mean() > 3 * amounts[~fraud].mean()
+
+
+class TestYsb:
+    def test_schema_and_event_type_distribution(self):
+        s = ysb_stream(3000, seed=8, view_fraction=0.4)
+        assert set(s.fields()) == {"campaign", "ad", "event_type"}
+        types = s.values("event_type")
+        view_share = float(np.mean(types == 0.0))
+        assert 0.3 < view_share < 0.5
+
+    def test_rate(self):
+        s = ysb_stream(1000, events_per_second=10_000.0)
+        assert s.time_range()[1] == pytest.approx(0.1)
+
+
+class TestUniform:
+    def test_bounds(self):
+        s = uniform_value_stream(1000, low=5.0, high=6.0)
+        values = s.values()
+        assert values.min() >= 5.0 and values.max() <= 6.0

@@ -1,0 +1,173 @@
+"""Tests for the parallel runtime: partitioning, executors and the engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.frontend.query import LEFT, PAYLOAD, RIGHT, source
+from repro.core.lineage import BoundarySpec
+from repro.core.runtime.engine import QueryResult, TiltEngine
+from repro.core.runtime.executor import SerialExecutor, ThreadPoolExecutor, make_executor
+from repro.core.runtime.partition import partition_inputs, plan_partitions
+from repro.core.runtime.ssbuf import SSBuf, ssbuf_from_stream
+from repro.core.runtime.stream import EventStream
+from repro.errors import ExecutionError, QueryBuildError
+from repro.windowing import MEAN
+
+E = PAYLOAD
+
+
+def trend_query():
+    stock = source("stock")
+    return (
+        stock.window(10, 1).aggregate(MEAN)
+        .join(stock.window(20, 1).aggregate(MEAN), LEFT - RIGHT)
+        .where(E > 0)
+    )
+
+
+class TestPlanPartitions:
+    def test_equal_partitions(self):
+        bounds = plan_partitions(0.0, 100.0, num_partitions=4)
+        assert bounds == [(0.0, 25.0), (25.0, 50.0), (50.0, 75.0), (75.0, 100.0)]
+
+    def test_interval_partitions(self):
+        bounds = plan_partitions(0.0, 95.0, interval=30.0)
+        assert bounds[-1][1] == 95.0
+        assert len(bounds) == 4
+
+    def test_alignment_snaps_interior_edges(self):
+        bounds = plan_partitions(0.0, 100.0, num_partitions=3, align=10.0)
+        for lo, hi in bounds[:-1]:
+            assert hi % 10.0 == 0.0
+        assert bounds[-1][1] == 100.0
+
+    def test_empty_and_invalid(self):
+        assert plan_partitions(5.0, 5.0, num_partitions=3) == []
+        with pytest.raises(QueryBuildError):
+            plan_partitions(0.0, 10.0)
+        with pytest.raises(QueryBuildError):
+            plan_partitions(0.0, 10.0, num_partitions=2, interval=5.0)
+        with pytest.raises(QueryBuildError):
+            plan_partitions(0.0, 10.0, num_partitions=0)
+        with pytest.raises(QueryBuildError):
+            plan_partitions(0.0, 10.0, interval=-1.0)
+
+
+class TestPartitionInputs:
+    def test_lookback_margin_included(self, regular_buf):
+        boundary = BoundarySpec({"regular": (20.0, 0.0)})
+        partitions = partition_inputs(
+            {"regular": regular_buf}, boundary, 0.0, 100.0, num_partitions=4
+        )
+        assert len(partitions) == 4
+        second = partitions[1]
+        assert second.t_start == 25.0
+        # its input slice must reach back 20 seconds before the partition start
+        assert second.inputs["regular"].value_at(6.0)[1]
+        assert second.span == 25.0
+        assert second.input_snapshot_count() > 0
+
+
+class TestExecutors:
+    def test_serial(self):
+        assert SerialExecutor().map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_thread_pool_preserves_order(self):
+        with ThreadPoolExecutor(4) as pool:
+            assert pool.map(lambda x: x * x, list(range(20))) == [x * x for x in range(20)]
+
+    def test_make_executor(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+        pool = make_executor(3)
+        assert isinstance(pool, ThreadPoolExecutor)
+        pool.shutdown()
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ThreadPoolExecutor(0)
+
+
+class TestTiltEngine:
+    def test_run_returns_query_result(self, random_walk_stream):
+        engine = TiltEngine(workers=1)
+        result = engine.run(trend_query().to_program(), {"stock": random_walk_stream})
+        assert isinstance(result, QueryResult)
+        assert result.input_events == len(random_walk_stream)
+        assert result.num_partitions == 1
+        assert result.throughput > 0
+        assert result.output.num_valid() > 0
+        stream = result.to_stream()
+        assert len(stream) > 0
+
+    def test_parallel_equals_serial(self, random_walk_stream):
+        program = trend_query().to_program()
+        serial = TiltEngine(workers=1).run(program, {"stock": random_walk_stream})
+        parallel = TiltEngine(workers=4).run(program, {"stock": random_walk_stream})
+        assert parallel.num_partitions > 1
+        grid = np.linspace(1.0, 300.0, 500)
+        sv, sk = serial.output.values_at(grid)
+        pv, pk = parallel.output.values_at(grid)
+        assert np.array_equal(sk, pk)
+        assert np.allclose(sv[sk], pv[pk])
+
+    def test_interpreted_mode_equals_compiled(self, random_walk_stream):
+        program = trend_query().to_program()
+        compiled = TiltEngine(workers=1, mode="compiled").run(program, {"stock": random_walk_stream})
+        interpreted = TiltEngine(workers=1, mode="interpreted").run(
+            program, {"stock": random_walk_stream}
+        )
+        grid = np.linspace(1.0, 300.0, 300)
+        cv, ck = compiled.output.values_at(grid)
+        iv, ik = interpreted.output.values_at(grid)
+        assert np.array_equal(ck, ik)
+        assert np.allclose(cv[ck], iv[ik])
+
+    def test_partition_interval(self, random_walk_stream):
+        engine = TiltEngine(workers=2, partition_interval=30.0)
+        result = engine.run(trend_query().to_program(), {"stock": random_walk_stream})
+        assert result.num_partitions == 10
+
+    def test_accepts_precompiled_query(self, random_walk_stream):
+        engine = TiltEngine(workers=2)
+        compiled = engine.compile(trend_query().to_program())
+        result = engine.run(compiled, {"stock": random_walk_stream})
+        assert result.output.num_valid() > 0
+
+    def test_accepts_ssbuf_inputs(self, random_walk_stream):
+        buf = ssbuf_from_stream(random_walk_stream)
+        result = TiltEngine().run(trend_query().to_program(), {"stock": buf})
+        assert result.output.num_valid() > 0
+
+    def test_structured_stream_expansion(self):
+        stream = EventStream.from_arrays(
+            [0, 1, 2],
+            [1, 2, 3],
+            [{"amount": 10.0}, {"amount": 20.0}, {"amount": 30.0}],
+            name="txn",
+        )
+        query = source("txn", field="amount").select(E * 2.0)
+        result = TiltEngine().run(query.to_program(), {"txn": stream})
+        assert result.output.value_at(1.5) == (40.0, True)
+
+    def test_missing_input_raises(self, random_walk_stream):
+        with pytest.raises(ExecutionError):
+            TiltEngine().run(trend_query().to_program(), {"wrong_name": random_walk_stream})
+
+    def test_invalid_configuration(self):
+        with pytest.raises(QueryBuildError):
+            TiltEngine(mode="jit")
+        with pytest.raises(QueryBuildError):
+            TiltEngine(workers=0)
+        with pytest.raises(QueryBuildError):
+            TiltEngine().run("not a program", {})
+
+    def test_empty_stream(self):
+        empty = EventStream([], name="stock")
+        result = TiltEngine().run(trend_query().to_program(), {"stock": empty})
+        assert result.output.num_valid() == 0
+
+    def test_explicit_time_range(self, random_walk_stream):
+        program = trend_query().to_program()
+        result = TiltEngine().run(program, {"stock": random_walk_stream}, t_start=50.0, t_end=100.0)
+        assert result.output.num_valid() <= 51
+        assert result.output.end_time <= 100.0

@@ -1,0 +1,142 @@
+"""Tests for the event-centric frontend and its translation to TiLT IR."""
+
+import pytest
+
+from repro.core.frontend import LEFT, PAYLOAD, RIGHT, custom_aggregate, source
+from repro.core.frontend.query import (
+    Chop,
+    CoalesceJoin,
+    Join,
+    Select,
+    Shift,
+    StreamSource,
+    Where,
+    WindowAggregate,
+    WindowSpec,
+)
+from repro.core.ir import Coalesce, IfThenElse, Reduce, TIndex, format_program
+from repro.errors import QueryBuildError
+from repro.windowing import COUNT, MAX, MEAN, MIN, STDDEV, SUM, VARIANCE
+
+E = PAYLOAD
+
+
+class TestDagConstruction:
+    def test_source(self):
+        node = source("stock")
+        assert isinstance(node, StreamSource)
+        assert node.describe() == "Source(stock)"
+        assert source("txn", field="amount").describe() == "Source(txn.amount)"
+
+    def test_chaining_and_operator_chain(self):
+        q = source("s").select(E + 1).where(E > 0).shift(2.0).chop(1.0)
+        chain = q.operator_chain()
+        assert chain == ["Source(s)", "Select", "Where", "Shift(2)", "Chop(1)"]
+
+    def test_window_spec_shortcuts(self):
+        spec = source("s").window(10, 5)
+        assert isinstance(spec, WindowSpec)
+        for maker, agg in [
+            (spec.sum, SUM), (spec.count, COUNT), (spec.mean, MEAN),
+            (spec.stddev, STDDEV), (spec.variance, VARIANCE), (spec.max, MAX), (spec.min, MIN),
+        ]:
+            node = maker()
+            assert isinstance(node, WindowAggregate)
+            assert node.agg is agg
+            assert node.size == 10 and node.stride == 5
+
+    def test_window_defaults_to_tumbling(self):
+        node = source("s").sum(10)
+        assert node.size == node.stride == 10
+
+    def test_node_level_shortcuts(self):
+        s = source("s")
+        assert s.mean(5).agg is MEAN
+        assert s.count(5).agg is COUNT
+        assert s.max(5).agg is MAX
+        assert s.min(5).agg is MIN
+        assert s.stddev(5).agg is STDDEV
+
+    def test_invalid_parameters(self):
+        with pytest.raises(QueryBuildError):
+            source("s").window(0, 1)
+        with pytest.raises(QueryBuildError):
+            source("s").window(10, -1)
+        with pytest.raises(QueryBuildError):
+            source("s").shift(-1.0)
+        with pytest.raises(QueryBuildError):
+            source("s").chop(0.0)
+
+    def test_join_and_coalesce_nodes(self):
+        a, b = source("a"), source("b")
+        assert isinstance(a.join(b, LEFT + RIGHT), Join)
+        assert isinstance(a.coalesce(b), CoalesceJoin)
+
+
+class TestTranslation:
+    def test_trend_translation_structure(self):
+        stock = source("stock")
+        avg10 = stock.window(10, 1).aggregate(MEAN).named("avg10")
+        avg20 = stock.window(20, 1).aggregate(MEAN).named("avg20")
+        trend = avg10.join(avg20, LEFT - RIGHT).where(E > 0).named("trend")
+        program = trend.to_program()
+        assert program.inputs == ("stock",)
+        assert program.defined_names()[-1] == "trend"
+        assert program.output == "trend"
+        assert len(program.exprs) == 4
+        avg10_expr = program.expr_named("avg10")
+        assert isinstance(avg10_expr.expr, Reduce)
+        assert avg10_expr.tdom.precision == 1.0
+        text = format_program(program)
+        assert "reduce(mean, ~stock[t-10 : t])" in text
+
+    def test_shared_subquery_translated_once(self):
+        stock = source("stock")
+        avg = stock.window(10, 1).aggregate(MEAN).named("avg")
+        # avg is referenced by two different consumers
+        query = avg.select(E * 2).join(avg.select(E * 3), LEFT + RIGHT)
+        program = query.to_program()
+        assert program.defined_names().count("avg") == 1
+
+    def test_select_substitutes_payload(self):
+        program = source("s").select(E * 2.0).to_program()
+        expr = program.output_expr.expr
+        # the payload placeholder is replaced by a point access to the input
+        assert TIndex("s", 0.0) in (getattr(expr, "lhs", None), getattr(expr, "rhs", None))
+
+    def test_where_produces_conditional(self):
+        program = source("s").where(E > 5).to_program()
+        assert isinstance(program.output_expr.expr, IfThenElse)
+
+    def test_shift_produces_negative_offset(self):
+        program = source("s").shift(4.0).to_program()
+        assert program.output_expr.expr == TIndex("s", -4.0)
+
+    def test_chop_sets_precision(self):
+        program = source("s").chop(0.5).to_program()
+        assert program.output_expr.tdom.precision == 0.5
+
+    def test_window_element_map(self):
+        program = source("s").window(10, 5).aggregate(SUM, element=E * E).to_program()
+        reduce_node = program.output_expr.expr
+        assert isinstance(reduce_node, Reduce)
+        assert reduce_node.element is not None
+
+    def test_coalesce_translation(self):
+        program = source("a").coalesce(source("b")).to_program()
+        assert isinstance(program.output_expr.expr, Coalesce)
+        assert set(program.inputs) == {"a", "b"}
+
+    def test_output_renaming(self):
+        program = source("s").select(E + 1).to_program(output_name="final")
+        assert program.output == "final"
+
+    def test_custom_aggregate_in_window(self):
+        rng = custom_aggregate(
+            "spread",
+            init=lambda: (float("inf"), float("-inf")),
+            acc=lambda s, v: (min(s[0], v), max(s[1], v)),
+            result=lambda s: s[1] - s[0],
+        )
+        program = source("s").window(5, 5).aggregate(rng).to_program()
+        assert program.output_expr.expr.agg.name == "spread"

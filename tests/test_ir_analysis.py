@@ -1,0 +1,128 @@
+"""Tests for IR static analyses and validation."""
+
+import pytest
+
+from repro.core.ir import (
+    IRBuilder,
+    Let,
+    Phi,
+    Reduce,
+    TDom,
+    TIndex,
+    TRef,
+    TWindow,
+    TemporalExpr,
+    TiltProgram,
+    Var,
+    contains_reduce,
+    count_nodes,
+    dependency_graph,
+    free_variables,
+    reference_extents,
+    referenced_streams,
+    topological_order,
+    validate_expr,
+    validate_program,
+    when,
+)
+from repro.errors import ValidationError
+from repro.windowing import SUM
+
+
+def trend_program():
+    b = IRBuilder()
+    stock = b.stream("stock")
+    avg10 = b.define("avg10", stock.window(-10, 0).reduce(SUM) / 10.0, precision=1)
+    avg20 = b.define("avg20", stock.window(-20, 0).reduce(SUM) / 20.0, precision=1)
+    join = b.define(
+        "join",
+        when(avg10.at().is_valid() & avg20.at().is_valid(), avg10.at() - avg20.at()),
+        precision=1,
+    )
+    b.define("filter", when(join.at() > 0, join.at()), precision=1)
+    return b.build(output="filter")
+
+
+class TestAnalyses:
+    def test_referenced_streams(self):
+        expr = TIndex("a", 0.0) + TIndex("b", -5.0) + TIndex("a", -1.0)
+        assert referenced_streams(expr) == ["a", "b"]
+
+    def test_reference_extents_points_and_windows(self):
+        expr = Reduce(SUM, TWindow("x", -10.0, 0.0)) + TIndex("x", -25.0) + TIndex("y", 3.0)
+        extents = reference_extents(expr)
+        assert extents["x"] == (-25.0, 0.0)
+        assert extents["y"] == (3.0, 3.0)
+
+    def test_contains_reduce(self):
+        assert contains_reduce(Reduce(SUM, TWindow("x", -1.0, 0.0)))
+        assert not contains_reduce(TIndex("x", 0.0) + 1.0)
+
+    def test_free_variables_and_let_scoping(self):
+        expr = Let((("a", TIndex("x", 0.0)),), Var("a") + Var("b"))
+        assert free_variables(expr) == {"b"}
+
+    def test_count_nodes(self):
+        assert count_nodes(TIndex("x", 0.0) + 1.0) == 3
+
+    def test_dependency_graph_and_topo_order(self):
+        program = trend_program()
+        graph = dependency_graph(program)
+        assert set(graph["join"]) == {"avg10", "avg20"}
+        assert graph["avg10"] == []
+        order = topological_order(program)
+        assert order.index("avg10") < order.index("join") < order.index("filter")
+
+
+class TestValidation:
+    def test_valid_program_passes(self):
+        validate_program(trend_program())
+
+    def test_unknown_reference_rejected(self):
+        te = TemporalExpr("out", TDom(), TIndex("ghost", 0.0))
+        program = TiltProgram(("in",), (te,), "out")
+        with pytest.raises(ValidationError):
+            validate_program(program)
+
+    def test_duplicate_definition_rejected(self):
+        te1 = TemporalExpr("out", TDom(), TIndex("in", 0.0))
+        te2 = TemporalExpr("out", TDom(), TIndex("in", 0.0))
+        program = TiltProgram(("in",), (te1, te2), "out")
+        with pytest.raises(ValidationError):
+            validate_program(program)
+
+    def test_shadowing_input_rejected(self):
+        te = TemporalExpr("in", TDom(), TIndex("in", 0.0))
+        program = TiltProgram(("in",), (te,), "in")
+        with pytest.raises(ValidationError):
+            validate_program(program)
+
+    def test_missing_output_rejected(self):
+        te = TemporalExpr("a", TDom(), TIndex("in", 0.0))
+        program = TiltProgram(("in",), (te,), "nope")
+        with pytest.raises(ValidationError):
+            validate_program(program)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_program(TiltProgram(("in",), (), "out"))
+
+    def test_window_outside_reduce_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_expr(TWindow("x", -1.0, 0.0) + 1.0)
+
+    def test_reduce_element_with_temporal_ref_rejected(self):
+        bad = Reduce(SUM, TWindow("x", -1.0, 0.0), element=TIndex("y", 0.0))
+        with pytest.raises(ValidationError):
+            validate_expr(bad)
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_expr(Var("loose") + 1.0)
+
+    def test_forward_reference_rejected(self):
+        a = TemporalExpr("a", TDom(), TIndex("b", 0.0))
+        b = TemporalExpr("b", TDom(), TIndex("in", 0.0))
+        program = TiltProgram(("in",), (a, b), "a")
+        with pytest.raises(ValidationError):
+            validate_program(program)

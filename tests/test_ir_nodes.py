@@ -1,0 +1,210 @@
+"""Tests for TiLT IR node construction, operator overloading and printing."""
+
+import math
+
+import pytest
+
+from repro.core.ir import (
+    BinOp,
+    Call,
+    Coalesce,
+    Const,
+    IRBuilder,
+    IfThenElse,
+    IsValid,
+    Let,
+    Phi,
+    Reduce,
+    TDom,
+    TIndex,
+    TRef,
+    TWindow,
+    TemporalExpr,
+    TiltProgram,
+    UnaryOp,
+    Var,
+    count_nodes,
+    format_expr,
+    format_program,
+    format_tdom,
+    lift,
+    normalize_expr,
+    when,
+)
+from repro.errors import QueryBuildError, ValidationError
+from repro.windowing import SUM
+
+
+class TestNodeConstruction:
+    def test_lift(self):
+        assert lift(3) == Const(3.0)
+        assert lift(True) == Const(1.0)
+        assert lift(Const(1.0)) == Const(1.0)
+        with pytest.raises(ValidationError):
+            lift("nope")
+
+    def test_operator_overloading_builds_binops(self):
+        x = TIndex("x", 0.0)
+        expr = (x + 1) * 2 - 3 / x
+        assert isinstance(expr, BinOp)
+        assert expr.op == "-"
+        assert count_nodes(expr) == 9
+
+    def test_comparison_and_logic_overloads(self):
+        x = TIndex("x", 0.0)
+        expr = (x > 1) & (x < 5) | ~(x.eq(3))
+        assert isinstance(expr, BinOp) and expr.op == "or"
+
+    def test_reverse_operators(self):
+        x = TIndex("x", 0.0)
+        expr = 10.0 - x
+        assert isinstance(expr, BinOp) and isinstance(expr.lhs, Const)
+
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(ValidationError):
+            BinOp("@@", Const(1.0), Const(2.0))
+
+    def test_unknown_unop_rejected(self):
+        with pytest.raises(ValidationError):
+            UnaryOp("wat", Const(1.0))
+
+    def test_unknown_call_rejected(self):
+        with pytest.raises(ValidationError):
+            Call("nonsense", (Const(1.0),))
+
+    def test_tref_helpers(self):
+        stock = TRef("stock")
+        assert stock.at(0.0) == TIndex("stock", 0.0)
+        assert stock.shift(5.0) == TIndex("stock", -5.0)
+        window = stock.window(-10.0, 0.0)
+        assert isinstance(window, TWindow)
+        assert window.size == 10.0
+        reduce_node = window.reduce(SUM)
+        assert isinstance(reduce_node, Reduce)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValidationError):
+            TWindow("x", 0.0, 0.0)
+        with pytest.raises(ValidationError):
+            TWindow("x", 5.0, -5.0)
+
+    def test_when_sugar(self):
+        x = TIndex("x", 0.0)
+        expr = when(x > 0, x)
+        assert isinstance(expr, IfThenElse)
+        assert isinstance(expr.orelse, Phi)
+        expr2 = when(x > 0, x, 0.0)
+        assert expr2.orelse == Const(0.0)
+
+    def test_valid_and_coalesce_helpers(self):
+        x = TIndex("x", 0.0)
+        assert isinstance(x.is_valid(), IsValid)
+        assert isinstance(x.coalesce(0.0), Coalesce)
+        assert isinstance(x.sqrt(), UnaryOp)
+
+
+class TestTDom:
+    def test_defaults_unbounded(self):
+        dom = TDom()
+        assert not dom.is_bounded
+        assert dom.precision == 0.0
+
+    def test_with_bounds(self):
+        dom = TDom(precision=2.0).with_bounds(0.0, 100.0)
+        assert dom.is_bounded and dom.start == 0.0 and dom.end == 100.0 and dom.precision == 2.0
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValidationError):
+            TDom(precision=-1.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValidationError):
+            TDom(start=10.0, end=0.0)
+
+
+class TestProgramContainers:
+    def test_program_lookup(self):
+        te = TemporalExpr("out", TDom(), TIndex("in", 0.0))
+        program = TiltProgram(("in",), (te,), "out")
+        assert program.expr_named("out") is te
+        assert program.output_expr is te
+        assert program.defined_names() == ("out",)
+        with pytest.raises(KeyError):
+            program.expr_named("missing")
+
+    def test_unnamed_temporal_expr_rejected(self):
+        with pytest.raises(ValidationError):
+            TemporalExpr("", TDom(), Const(1.0))
+
+
+class TestPrinter:
+    def test_format_expr_examples(self):
+        stock = TRef("stock")
+        expr = when(stock.window(-10.0, 0.0).reduce(SUM) / 10.0 > 0, Const(1.0))
+        text = format_expr(expr)
+        assert "reduce(sum, ~stock[t-10 : t])" in text
+        assert "φ" in text
+
+    def test_format_tdom(self):
+        assert format_tdom(TDom(0, 100, 1)) == "TDom(0, 100, 1)"
+        assert "inf" in format_tdom(TDom())
+
+    def test_format_program_lists_everything(self):
+        b = IRBuilder()
+        stock = b.stream("stock")
+        b.define("doubled", stock.at(0.0) * 2.0)
+        program = b.build()
+        text = format_program(program)
+        assert "inputs: ~stock" in text
+        assert "~doubled[t]" in text
+        assert "output: ~doubled" in text
+
+    def test_format_let(self):
+        expr = Let((("a", Const(1.0)),), Var("a") + 1.0)
+        text = format_expr(expr)
+        assert "a = 1" in text and "return" in text
+
+
+class TestBuilder:
+    def test_define_and_build(self):
+        b = IRBuilder()
+        x = b.stream("x")
+        b.define("y", x.at(0.0) + 1.0)
+        program = b.build()
+        assert program.inputs == ("x",)
+        assert program.output == "y"
+
+    def test_structured_stream_naming(self):
+        b = IRBuilder()
+        amount = b.stream("txn", field="amount")
+        assert amount.name == "txn.amount"
+        b.define("big", when(amount.at(0.0) > 100.0, amount.at(0.0)))
+        assert b.build().inputs == ("txn.amount",)
+
+    def test_duplicate_names_rejected(self):
+        b = IRBuilder()
+        x = b.stream("x")
+        b.define("y", x.at(0.0))
+        with pytest.raises(QueryBuildError):
+            b.define("y", x.at(0.0))
+        with pytest.raises(QueryBuildError):
+            b.stream("y")
+
+    def test_precision_and_tdom_exclusive(self):
+        b = IRBuilder()
+        x = b.stream("x")
+        with pytest.raises(QueryBuildError):
+            b.define("y", x.at(0.0), precision=1.0, tdom=TDom())
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(QueryBuildError):
+            IRBuilder().build()
+
+    def test_fresh_names_unique(self):
+        b = IRBuilder()
+        names = {b.fresh_name("tmp") for _ in range(10)}
+        assert len(names) == 10
+
+    def test_normalize_bare_tref(self):
+        expr = normalize_expr(TRef("x") + 1.0)
+        assert TIndex("x", 0.0) in (expr.lhs, expr.rhs)

@@ -1,0 +1,91 @@
+"""Tests for the shared scalar operator semantics (φ-propagation rules)."""
+
+import math
+
+import pytest
+
+from repro.core.ops import eval_binop, eval_call, eval_unop
+from repro.errors import CompilationError
+
+
+class TestBinop:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("+", 2.0, 3.0, 5.0),
+            ("-", 2.0, 3.0, -1.0),
+            ("*", 2.0, 3.0, 6.0),
+            ("/", 6.0, 3.0, 2.0),
+            ("%", 7.0, 2.0, 1.0),
+            ("**", 2.0, 3.0, 8.0),
+            ("min", 2.0, 3.0, 2.0),
+            ("max", 2.0, 3.0, 3.0),
+            (">", 2.0, 3.0, 0.0),
+            ("<", 2.0, 3.0, 1.0),
+            (">=", 3.0, 3.0, 1.0),
+            ("<=", 4.0, 3.0, 0.0),
+            ("==", 3.0, 3.0, 1.0),
+            ("!=", 3.0, 3.0, 0.0),
+            ("and", 1.0, 0.0, 0.0),
+            ("and", 2.0, 5.0, 1.0),
+            ("or", 0.0, 0.0, 0.0),
+            ("or", 0.0, 2.0, 1.0),
+        ],
+    )
+    def test_valid_results(self, op, a, b, expected):
+        value, ok = eval_binop(op, a, b)
+        assert ok
+        assert value == pytest.approx(expected)
+
+    def test_division_by_zero_is_phi(self):
+        assert eval_binop("/", 1.0, 0.0) == (0.0, False)
+        assert eval_binop("%", 1.0, 0.0) == (0.0, False)
+
+    def test_unknown_operator(self):
+        with pytest.raises(CompilationError):
+            eval_binop("^^", 1.0, 2.0)
+
+
+class TestUnop:
+    def test_basics(self):
+        assert eval_unop("neg", 2.0) == (-2.0, True)
+        assert eval_unop("abs", -2.0) == (2.0, True)
+        assert eval_unop("not", 0.0) == (1.0, True)
+        assert eval_unop("not", 3.0) == (0.0, True)
+        assert eval_unop("floor", 2.7)[0] == 2.0
+        assert eval_unop("ceil", 2.1)[0] == 3.0
+        assert eval_unop("sign", -5.0)[0] == -1.0
+
+    def test_domain_errors_are_phi(self):
+        assert eval_unop("sqrt", -1.0) == (0.0, False)
+        assert eval_unop("log", 0.0) == (0.0, False)
+        assert eval_unop("log", -5.0) == (0.0, False)
+
+    def test_sqrt_exp_log(self):
+        assert eval_unop("sqrt", 9.0)[0] == pytest.approx(3.0)
+        assert eval_unop("exp", 0.0)[0] == pytest.approx(1.0)
+        assert eval_unop("log", math.e)[0] == pytest.approx(1.0)
+
+    def test_unknown_operator(self):
+        with pytest.raises(CompilationError):
+            eval_unop("nope", 1.0)
+
+
+class TestCall:
+    def test_functions(self):
+        assert eval_call("sqrt", [16.0])[0] == pytest.approx(4.0)
+        assert eval_call("pow", [2.0, 10.0])[0] == pytest.approx(1024.0)
+        assert eval_call("sin", [0.0])[0] == pytest.approx(0.0)
+        assert eval_call("cos", [0.0])[0] == pytest.approx(1.0)
+        assert eval_call("atan2", [0.0, 1.0])[0] == pytest.approx(0.0)
+        assert eval_call("abs", [-3.0])[0] == 3.0
+        assert eval_call("floor", [2.9])[0] == 2.0
+        assert eval_call("ceil", [2.1])[0] == 3.0
+
+    def test_domain_error(self):
+        assert eval_call("sqrt", [-1.0]) == (0.0, False)
+        assert eval_call("log", [0.0]) == (0.0, False)
+
+    def test_unknown_function(self):
+        with pytest.raises(CompilationError):
+            eval_call("frobnicate", [1.0])

@@ -1,0 +1,181 @@
+"""Tests for the optimizer: constant folding, fusion, DCE, pass manager."""
+
+import numpy as np
+import pytest
+
+from repro.core.codegen import compile_program, evaluate_program
+from repro.core.frontend.query import LEFT, PAYLOAD, RIGHT, source
+from repro.core.ir import (
+    BinOp,
+    Const,
+    IRBuilder,
+    Let,
+    Phi,
+    TDom,
+    TIndex,
+    TemporalExpr,
+    Var,
+    format_program,
+    when,
+)
+from repro.core.lineage import resolve_boundaries
+from repro.core.optimizer import (
+    PassManager,
+    constant_fold_expr,
+    constant_folding,
+    dead_expression_elimination,
+    default_pass_manager,
+    fuse_program,
+    optimize,
+    shift_expr,
+    simplify_lets,
+    substitute_vars,
+)
+from repro.core.runtime.ssbuf import ssbuf_from_stream
+from repro.core.runtime.stream import EventStream
+from repro.windowing import MEAN, SUM
+
+E = PAYLOAD
+
+
+def trend_query():
+    stock = source("stock")
+    avg10 = stock.window(10, 1).aggregate(MEAN).named("avg10")
+    avg20 = stock.window(20, 1).aggregate(MEAN).named("avg20")
+    return avg10.join(avg20, LEFT - RIGHT).where(E > 0).named("trend")
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds(self):
+        assert constant_fold_expr(Const(2.0) + Const(3.0)) == Const(5.0)
+        assert constant_fold_expr(Const(2.0) * Const(3.0) - Const(1.0)) == Const(5.0)
+
+    def test_phi_propagates(self):
+        assert isinstance(constant_fold_expr(Const(1.0) + Phi()), Phi)
+        assert isinstance(constant_fold_expr(Const(1.0) / Const(0.0)), Phi)
+
+    def test_identities(self):
+        x = TIndex("x", 0.0)
+        assert constant_fold_expr(x + 0.0) == x
+        assert constant_fold_expr(x * 1.0) == x
+        assert constant_fold_expr(0.0 + x) == x
+        assert constant_fold_expr(x / 1.0) == x
+
+    def test_conditional_folding(self):
+        x = TIndex("x", 0.0)
+        assert constant_fold_expr(when(Const(1.0), x)) == x
+        assert isinstance(constant_fold_expr(when(Const(0.0), x)), Phi)
+        assert isinstance(constant_fold_expr(when(Phi(), x)), Phi)
+
+    def test_isvalid_and_coalesce_folding(self):
+        x = TIndex("x", 0.0)
+        assert constant_fold_expr(Const(5.0).is_valid()) == Const(1.0)
+        assert constant_fold_expr(Phi().is_valid()) == Const(0.0)
+        assert constant_fold_expr(Phi().coalesce(x)) == x
+        assert constant_fold_expr(Const(2.0).coalesce(x)) == Const(2.0)
+
+    def test_call_folding(self):
+        from repro.core.ir import Call
+
+        assert constant_fold_expr(Call("sqrt", (Const(16.0),))) == Const(4.0)
+        assert isinstance(constant_fold_expr(Call("sqrt", (Const(-1.0),))), Phi)
+
+
+class TestRewriteUtilities:
+    def test_shift_expr(self):
+        from repro.core.ir import Reduce, TWindow
+
+        expr = TIndex("x", -1.0) + Reduce(SUM, TWindow("x", -10.0, 0.0))
+        shifted = shift_expr(expr, -5.0)
+        assert TIndex("x", -6.0) in (shifted.lhs, shifted.rhs)
+        reduce_node = shifted.rhs if isinstance(shifted.rhs, Reduce) else shifted.lhs
+        assert reduce_node.window.start_offset == -15.0
+
+    def test_substitute_vars(self):
+        expr = Var("a") + Var("b")
+        out = substitute_vars(expr, {"a": Const(1.0)})
+        assert out == BinOp("+", Const(1.0), Var("b"))
+
+
+class TestFusion:
+    def test_trend_query_fully_fuses(self):
+        program = trend_query().to_program()
+        result = fuse_program(program)
+        assert result.expressions_before == 4
+        assert result.fully_fused
+        assert result.inlined_point_refs >= 3
+        fused = result.program
+        # the single fused expression is defined over the precision-1 domain
+        assert len(fused.exprs) == 1
+        assert fused.output_expr.tdom.precision == 1.0
+
+    def test_window_over_pointwise_producer_becomes_element_map(self):
+        stock = source("stock")
+        squares = stock.select(E * E).named("squares")
+        query = squares.window(10, 1).aggregate(SUM).named("sum_sq")
+        result = fuse_program(query.to_program())
+        assert result.inlined_window_refs == 1
+        assert result.fully_fused
+
+    def test_fusion_preserves_semantics(self, random_walk_stream):
+        program = trend_query().to_program()
+        fused = fuse_program(program).program
+        buf = ssbuf_from_stream(random_walk_stream)
+        boundary = resolve_boundaries(program)
+        env_a = evaluate_program(program, {"stock": buf}, 0.0, 300.0, boundary=boundary)
+        env_b = evaluate_program(fused, {"stock": buf}, 0.0, 300.0, boundary=boundary)
+        grid = np.linspace(25.0, 295.0, 200)
+        av, ak = env_a[program.output].values_at(grid)
+        bv, bk = env_b[fused.output].values_at(grid)
+        assert np.array_equal(ak, bk)
+        assert np.allclose(av[ak], bv[bk])
+
+    def test_incompatible_precisions_not_fused(self):
+        b = IRBuilder()
+        x = b.stream("x")
+        coarse = b.define("coarse", x.window(-10, 0).reduce(SUM), precision=10)
+        fine = b.define("fine", x.window(-2, 0).reduce(SUM), precision=2)
+        b.define("combo", coarse.at() + fine.at(), precision=0)
+        result = fuse_program(b.build(output="combo"))
+        # mixed precisions: the producers stay materialized
+        assert not result.fully_fused
+        assert len(result.program.exprs) == 3
+
+
+class TestCleanupPasses:
+    def test_dead_expression_elimination(self):
+        b = IRBuilder()
+        x = b.stream("x")
+        b.define("unused", x.at(0.0) * 2.0)
+        b.define("out", x.at(0.0) + 1.0)
+        program = b.build(output="out")
+        cleaned = dead_expression_elimination(program)
+        assert cleaned.defined_names() == ("out",)
+
+    def test_simplify_lets_inlines_trivial_bindings(self):
+        body = Let((("a", Const(3.0)), ("b", Var("a") + TIndex("x", 0.0))), Var("b") * 1.0)
+        program = _single_expr_program(body)
+        simplified = simplify_lets(constant_folding(program))
+        text = format_program(simplified)
+        assert "a =" not in text  # constant binding inlined away
+
+    def test_pass_manager_records_history(self):
+        program = trend_query().to_program()
+        pm = default_pass_manager()
+        optimized = pm.run(program)
+        assert len(pm.history) == len(pm.passes)
+        assert pm.history[0].expressions_before == 4
+        assert "operator-fusion" in pm.summary()
+        assert len(optimized.exprs) == 1
+
+    def test_optimize_without_fusion(self):
+        program = trend_query().to_program()
+        optimized = optimize(program, enable_fusion=False)
+        assert len(optimized.exprs) == 4
+
+
+def _single_expr_program(expr):
+    te = TemporalExpr("out", TDom(), expr)
+    from repro.core.ir import TiltProgram
+
+    return TiltProgram(("x",), (te,), "out")
