@@ -1,0 +1,127 @@
+"""Sustained streaming throughput: steady-state events/sec of a
+StreamingSession vs. micro-batch (tick) size and worker count.
+
+The one-shot benchmarks measure a single run over a preloaded dataset.  A
+production stream processor instead runs forever, so the number that matters
+is the *steady-state* ingest rate: events per second of tick time once the
+session is warmed up (kernels compiled, carry-over state populated).  The
+tick size plays the role the batch size plays in the Figure 9 latency-bounded
+sweep — smaller ticks bound result staleness but expose per-tick overheads —
+and the worker count exercises the same synchronization-free partition
+parallelism as Figure 8, applied within each tick.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_sustained_throughput.py
+
+or under pytest (one quick configuration)::
+
+    pytest benchmarks/bench_sustained_throughput.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List
+
+from repro.apps import YSB
+from repro.core.runtime.engine import TiltEngine
+from repro.datagen import GeneratorSource, ysb_stream
+
+WORKER_SWEEP = [1, 2, 4]
+TICK_EVENT_SWEEP = [1_000, 5_000, 20_000]
+CHUNK_EVENTS = 20_000
+WARMUP_TICKS = 3
+MEASURED_TICKS = 12
+
+
+def ysb_sources(events_per_tick: int) -> List[GeneratorSource]:
+    """An unbounded YSB ad-event source delivering one micro-batch per tick."""
+    return [
+        GeneratorSource(
+            lambda i: ysb_stream(CHUNK_EVENTS, seed=i),
+            name="ads",
+            events_per_poll=events_per_tick,
+        )
+    ]
+
+
+def measure_steady_state(
+    workers: int,
+    events_per_tick: int,
+    *,
+    warmup_ticks: int = WARMUP_TICKS,
+    measured_ticks: int = MEASURED_TICKS,
+) -> Dict[str, float]:
+    """Steady-state ingest rate of one session configuration.
+
+    Warmup ticks populate the carry-over state and amortize one-time costs,
+    then throughput is read from the rolling window over the measured ticks.
+    """
+    engine = TiltEngine(workers=workers)
+    try:
+        session = engine.open_session(
+            YSB.program(), ysb_sources(events_per_tick), retain_output=False
+        )
+        for _ in range(warmup_ticks):
+            session.tick()
+        baseline_events = session.metrics.input_events
+        baseline_busy = session.metrics.busy_seconds
+        for _ in range(measured_ticks):
+            session.tick()
+        events = session.metrics.input_events - baseline_events
+        busy = session.metrics.busy_seconds - baseline_busy
+        return {
+            "workers": float(workers),
+            "events_per_tick": float(events_per_tick),
+            "events_per_second": events / busy if busy > 0 else float("inf"),
+            "tick_p50_ms": session.metrics.latency.p50 * 1e3,
+            "tick_p99_ms": session.metrics.latency.p99 * 1e3,
+            "retained_snapshots": float(session.retained_snapshots()),
+        }
+    finally:
+        engine.close()
+
+
+def run_sweep(worker_sweep=WORKER_SWEEP, tick_sweep=TICK_EVENT_SWEEP) -> List[Dict[str, float]]:
+    rows = []
+    print(
+        f"{'workers':>8} {'tick events':>12} {'M events/s':>12} "
+        f"{'tick p50 (ms)':>14} {'tick p99 (ms)':>14} {'retained':>9}"
+    )
+    for workers in worker_sweep:
+        for events_per_tick in tick_sweep:
+            row = measure_steady_state(workers, events_per_tick)
+            rows.append(row)
+            print(
+                f"{workers:>8d} {events_per_tick:>12,d} "
+                f"{row['events_per_second'] / 1e6:>12.3f} "
+                f"{row['tick_p50_ms']:>14.2f} {row['tick_p99_ms']:>14.2f} "
+                f"{int(row['retained_snapshots']):>9d}"
+            )
+    return rows
+
+
+def test_sustained_throughput_smoke():
+    """Quick CI-sized configuration: two worker counts, one tick size."""
+    rows = [measure_steady_state(w, 5_000, warmup_ticks=1, measured_ticks=3) for w in (1, 2)]
+    for row in rows:
+        assert row["events_per_second"] > 0
+        print(
+            f"\n[sustained/ysb] workers={int(row['workers'])} "
+            f"tick={int(row['events_per_tick'])}: "
+            f"{row['events_per_second'] / 1e6:.3f} M events/s "
+            f"(p99 tick {row['tick_p99_ms']:.1f} ms)"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, nargs="*", default=WORKER_SWEEP)
+    parser.add_argument("--tick-events", type=int, nargs="*", default=TICK_EVENT_SWEEP)
+    args = parser.parse_args()
+    run_sweep(args.workers, args.tick_events)
+
+
+if __name__ == "__main__":
+    main()

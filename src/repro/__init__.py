@@ -43,6 +43,8 @@ from .core import (
     Interpreter,
     QueryResult,
     SSBuf,
+    StreamingSession,
+    TickResult,
     TiltEngine,
     TiltProgram,
     compile_program,
@@ -75,4 +77,6 @@ __all__ = [
     "SSBuf",
     "QueryResult",
     "TiltEngine",
+    "StreamingSession",
+    "TickResult",
 ]

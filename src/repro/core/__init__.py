@@ -8,7 +8,13 @@ from .optimizer import optimize
 from .runtime import Event, EventStream, SSBuf
 from .runtime.engine import QueryResult, TiltEngine
 
+# imported after the engine: the session module sits above the low-level
+# runtime data structures (it imports the engine and, lazily, the metrics)
+from .runtime.session import StreamingSession, TickResult
+
 __all__ = [
+    "StreamingSession",
+    "TickResult",
     "CompiledQuery",
     "Interpreter",
     "compile_program",

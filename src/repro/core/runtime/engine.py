@@ -25,7 +25,7 @@ from ..codegen.compiled import CompiledQuery, compile_program
 from ..codegen.interpreter import evaluate_program
 from ..ir.nodes import TiltProgram
 from ..lineage.boundary import BoundarySpec, resolve_boundaries
-from .executor import Executor, make_executor
+from .executor import Executor, make_executor  # noqa: F401 - Executor re-exported
 from .partition import Partition, partition_inputs
 from .ssbuf import SSBuf, ssbufs_from_stream
 from .stream import EventStream
@@ -101,6 +101,10 @@ class TiltEngine:
         self.mode = mode
         self.optimize = optimize
         self.enable_fusion = enable_fusion
+        # shared across run() calls and all sessions of this engine: one
+        # worker pool and one CompiledQuery per program (see open_session)
+        self._executor: Optional[Executor] = None
+        self._compile_cache: Dict[tuple, Tuple[TiltProgram, CompiledQuery]] = {}
 
     # ------------------------------------------------------------------ #
     # compilation
@@ -110,6 +114,75 @@ class TiltEngine:
         return compile_program(
             program, optimize=self.optimize, enable_fusion=self.enable_fusion
         )
+
+    def compile_cached(self, program: TiltProgram) -> CompiledQuery:
+        """Compile ``program``, reusing a previous compilation of the same
+        program object.
+
+        Compilation is a one-time cost for a long-running streaming query;
+        caching lets multiple concurrent sessions over the same program
+        share one set of generated kernels.  The key includes the engine's
+        compilation settings, so flipping ``optimize``/``enable_fusion``
+        between sessions recompiles instead of returning stale kernels.
+        (Entries hold a strong reference to the program, so the ``id``-based
+        key stays valid; ``close()`` empties the cache.)
+        """
+        key = (id(program), self.optimize, self.enable_fusion)
+        entry = self._compile_cache.get(key)
+        if entry is None or entry[0] is not program:
+            entry = (program, self.compile(program))
+            self._compile_cache[key] = entry
+        return entry[1]
+
+    # ------------------------------------------------------------------ #
+    # shared resources
+    # ------------------------------------------------------------------ #
+    def shared_executor(self) -> Executor:
+        """The engine's long-lived worker pool.
+
+        Created lazily and reused by every ``run`` call and every streaming
+        session, so concurrent queries share one set of worker threads
+        instead of spawning a pool per query.  ``close`` releases it.
+        """
+        if self._executor is None:
+            self._executor = make_executor(self.workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down the shared worker pool and drop cached compilations."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        self._compile_cache.clear()
+
+    def __enter__(self) -> "TiltEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # streaming sessions
+    # ------------------------------------------------------------------ #
+    def open_session(
+        self,
+        query: Union[TiltProgram, CompiledQuery],
+        sources,
+        **kwargs,
+    ):
+        """Open a continuous :class:`~repro.core.runtime.session.StreamingSession`.
+
+        ``query`` is compiled once (and cached, so several sessions over the
+        same program share kernels); ``sources`` must cover every program
+        input (see :mod:`repro.datagen.sources`).  Keyword arguments are
+        forwarded to :class:`StreamingSession`.
+        """
+        # imported here: session.py imports this module at load time
+        from .session import StreamingSession
+
+        if isinstance(query, TiltProgram) and self.mode == "compiled":
+            query = self.compile_cached(query)
+        return StreamingSession(self, query, sources, **kwargs)
 
     # ------------------------------------------------------------------ #
     # execution
@@ -140,21 +213,18 @@ class TiltEngine:
         partitions = self._partition(inputs, boundary, t_start, t_end, alignment)
 
         start = time.perf_counter()
-        executor = make_executor(self.workers)
-        try:
-            if compiled is not None:
-                pieces = executor.map(
-                    lambda p: compiled.run(p.inputs, p.t_start, p.t_end), partitions
-                )
-            else:
-                pieces = executor.map(
-                    lambda p: evaluate_program(
-                        program, p.inputs, p.t_start, p.t_end, boundary=boundary
-                    )[program.output],
-                    partitions,
-                )
-        finally:
-            executor.shutdown()
+        executor = self.shared_executor()
+        if compiled is not None:
+            pieces = executor.map(
+                lambda p: compiled.run(p.inputs, p.t_start, p.t_end), partitions
+            )
+        else:
+            pieces = executor.map(
+                lambda p: evaluate_program(
+                    program, p.inputs, p.t_start, p.t_end, boundary=boundary
+                )[program.output],
+                partitions,
+            )
         output = SSBuf.concat(pieces).compact() if pieces else SSBuf.empty(t_start)
         elapsed = time.perf_counter() - start
         return QueryResult(

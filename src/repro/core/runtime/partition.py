@@ -6,6 +6,27 @@ interval — the required input interval is exactly the output interval
 extended by the margins that boundary resolution inferred.  Adjacent
 partitions therefore duplicate a small amount of input (the shaded region of
 Figure 6), which is the price of completely synchronization-free workers.
+
+Margin invariants
+-----------------
+Both the one-shot engine and the streaming session layer
+(:mod:`repro.core.runtime.session`) rely on two facts about the margins:
+
+* **Sufficiency** — a partition producing ``(lo, hi]`` never reads any input
+  outside ``(lo - lookback, hi + lookahead]``, so the slice built here is
+  all a worker will ever see.  For a streaming session this is what makes
+  incremental emission safe: output up to a watermark ``w`` is fully
+  determined once input is complete through ``w + max_lookahead``.
+* **Deadness** — once output through ``w`` has been emitted, every future
+  partition has ``lo >= w`` and therefore reads no input at or before
+  ``w - max_lookback``.  That is the carry-over rule: between ticks a
+  session must retain (only) the input snapshots after ``w - max_lookback``,
+  and may prune everything older.
+
+Partition edges are additionally snapped to the query's coarsest
+time-domain precision (``align``); streaming tick boundaries follow the
+same rule, so a tick edge is indistinguishable from an interior partition
+edge of a one-shot run.
 """
 
 from __future__ import annotations
@@ -106,7 +127,12 @@ def partition_inputs(
 
     Every partition receives, for each input stream, the slice
     ``(p_start - lookback, p_end + lookahead]`` of that stream's snapshot
-    buffer.
+    buffer (per-input margins from ``boundary``).  The ``inputs`` mapping
+    may itself hold pruned tails rather than full streams: as long as each
+    buffer still covers every requested slice — the session layer's
+    carry-over invariant — the produced partitions are identical to those
+    of a full-stream run, because ``SSBuf.slice`` is stable under such
+    pruning (see :meth:`SSBuf.slice`).
     """
     bounds = plan_partitions(
         t_start, t_end, num_partitions=num_partitions, interval=interval, align=align

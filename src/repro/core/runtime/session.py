@@ -1,0 +1,536 @@
+"""Continuous streaming sessions: micro-batch execution of TiLT queries.
+
+``TiltEngine.run`` is one-shot: it partitions a *finite* input buffer and
+returns.  A :class:`StreamingSession` is the long-running execution path: it
+compiles the query once and then advances it incrementally over unbounded
+sources in micro-batch *ticks*.  Each tick
+
+1. polls every source for newly arrived events and appends them to the
+   per-input snapshot buffers (change-point form, exactly as
+   :meth:`SSBuf.from_events` would build them);
+2. computes the new output **watermark** ``w`` — the time up to which the
+   output is fully determined by the ingested input;
+3. re-plans only the new output interval ``(t_emitted, w]`` with the same
+   boundary-margin partitioner as the batch engine and executes the
+   partitions on the engine's shared worker pool;
+4. emits the resulting output *delta* and prunes the retained input tail.
+
+Correctness contract (tick concatenation ≡ one-shot batch)
+----------------------------------------------------------
+The session maintains two invariants derived from the resolved
+:class:`~repro.core.lineage.boundary.BoundarySpec`:
+
+* **Watermark trails the ingest horizon by the lookahead margin.**  Producing
+  output over ``(Ts, Te]`` reads input up to ``Te + lookahead``, so a tick
+  may only emit up to ``w = horizon - max_lookahead`` (where ``horizon`` is
+  the sources' completeness watermark).  ``w`` is additionally snapped *down*
+  to the query's coarsest time-domain precision so tick edges — like the
+  batch partitioner's interior edges — never fall inside a precision
+  interval.
+* **Carry-over retains the lookback margin.**  After emitting through ``w``,
+  every future partition starts at ``p_start >= w`` and reads input back to
+  ``p_start - lookback``, so the retained per-input tail is pruned to
+  ``(w - max_lookback, ·]`` and nothing older is ever needed again.
+
+Within those invariants every partition slice handed to a kernel is
+byte-identical to the slice the one-shot batch run would have produced for
+the same output interval, so concatenating the per-tick deltas and merging
+adjacent equal snapshots reproduces the batch output exactly.  (Tick and
+partition edges do introduce extra snapshot boundaries, but — as in the
+batch engine — they always carry the value the output already holds there,
+and :meth:`SSBuf.compact` removes such duplicates canonically.)  The
+equivalence is asserted byte-for-byte in ``tests/test_streaming_session.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ...errors import ExecutionError, OverlappingEventsError, QueryBuildError
+from ..codegen.compiled import CompiledQuery
+from ..codegen.interpreter import evaluate_program
+from ..ir.nodes import TiltProgram
+from ..lineage.boundary import resolve_boundaries
+from .engine import QueryResult, TiltEngine
+from .ssbuf import SSBuf
+from .stream import Event
+
+__all__ = ["TickResult", "StreamingSession"]
+
+_INF = float("inf")
+
+
+class _IngestColumn:
+    """Incremental change-point accumulation for one program input.
+
+    Appending an in-order event ``(s, e]`` mirrors ``SSBuf.from_events``:
+    a φ snapshot at ``s`` when a gap precedes it, then a value snapshot at
+    ``e``.  The column therefore materializes, at any point, exactly the
+    prefix of the buffer the batch ingest would have built — which is what
+    the byte-identical equivalence of session and batch execution rests on.
+
+    ``anchor`` is the materialized buffer's ``start_time``; pruning advances
+    it (see :meth:`prune`), matching ``SSBuf.slice``'s clamping semantics so
+    partition slices taken from the pruned buffer are unchanged.
+    """
+
+    __slots__ = ("name", "field", "anchor", "prev_end", "_chunks", "_cache")
+
+    def __init__(self, name: str, field: Optional[str] = None):
+        self.name = name
+        self.field = field
+        self.anchor: Optional[float] = None
+        self.prev_end: Optional[float] = None
+        self._chunks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._cache: Optional[SSBuf] = None
+
+    @property
+    def started(self) -> bool:
+        return self.prev_end is not None
+
+    def extend(self, events: Sequence[Event]) -> None:
+        if not events:
+            return
+        times: List[float] = []
+        values: List[float] = []
+        valid: List[bool] = []
+        prev_end = self.prev_end
+        for e in events:
+            value = e.field(self.field) if self.field is not None else e.value()
+            if prev_end is None:
+                # auto-derived start, matching from_events: the first
+                # snapshot interval is empty, values before it are φ
+                self.anchor = e.start
+                prev_end = e.start
+            if e.start < prev_end:
+                raise OverlappingEventsError(
+                    f"input {self.name!r}: event starting at {e.start:g} overlaps or "
+                    f"precedes ingested data ending at {prev_end:g}; sessions require "
+                    "in-order, non-overlapping arrival"
+                )
+            if e.start > prev_end:
+                times.append(e.start)
+                values.append(0.0)
+                valid.append(False)
+            times.append(e.end)
+            values.append(value)
+            valid.append(True)
+            prev_end = e.end
+        self.prev_end = prev_end
+        self._chunks.append(
+            (
+                np.asarray(times, dtype=np.float64),
+                np.asarray(values, dtype=np.float64),
+                np.asarray(valid, dtype=bool),
+            )
+        )
+        self._cache = None
+
+    def materialize(self) -> SSBuf:
+        """The retained tail of this input as a snapshot buffer."""
+        if self._cache is None:
+            anchor = 0.0 if self.anchor is None else self.anchor
+            if not self._chunks:
+                self._cache = SSBuf.empty(anchor)
+            else:
+                self._cache = SSBuf(
+                    np.concatenate([c[0] for c in self._chunks]),
+                    np.concatenate([c[1] for c in self._chunks]),
+                    np.concatenate([c[2] for c in self._chunks]),
+                    start_time=anchor,
+                )
+        return self._cache
+
+    def prune(self, t: float) -> None:
+        """Drop snapshots at or before ``t`` (they can never be read again).
+
+        Uses ``SSBuf.slice`` so a snapshot spanning ``t`` is kept whole and
+        the buffer's ``start_time`` advances to ``t`` — any later
+        ``slice(in_lo, in_hi)`` with ``in_lo >= t`` is byte-identical to the
+        same slice of the unpruned buffer.
+        """
+        buf = self.materialize()
+        if t <= buf.start_time:
+            return
+        pruned = SSBuf.empty(t) if buf.end_time <= t else buf.slice(t, buf.end_time)
+        self._chunks = (
+            [(pruned.times, pruned.values, pruned.valid)] if len(pruned) else []
+        )
+        self.anchor = pruned.start_time
+        self._cache = pruned
+
+    def retained_snapshots(self) -> int:
+        return sum(len(c[0]) for c in self._chunks)
+
+
+@dataclass
+class TickResult:
+    """Output of one micro-batch tick.
+
+    ``delta`` holds the output snapshots produced for ``(t_start, t_end]``;
+    a tick that could not advance the watermark (not enough input arrived)
+    emits an empty delta with ``t_start == t_end``.
+    """
+
+    index: int
+    t_start: float
+    t_end: float
+    delta: SSBuf
+    events_ingested: int
+    num_partitions: int
+    elapsed_seconds: float
+
+    @property
+    def emitted(self) -> bool:
+        return self.t_end > self.t_start
+
+    @property
+    def watermark(self) -> float:
+        """Output is complete up to this time after the tick."""
+        return self.t_end
+
+    @property
+    def output_snapshots(self) -> int:
+        return len(self.delta)
+
+
+class StreamingSession:
+    """A long-running, incrementally advanced TiLT query.
+
+    Create sessions through :meth:`TiltEngine.open_session`, which shares
+    the compiled kernels (per-program compile cache) and the worker pool
+    across all sessions of the engine.
+
+    Parameters
+    ----------
+    engine:
+        The owning engine; supplies workers, partitioning policy and the
+        shared executor.
+    query:
+        A :class:`TiltProgram` or pre-compiled :class:`CompiledQuery`.
+    sources:
+        Pull sources covering every program input (see
+        :mod:`repro.datagen.sources` for the protocol).  A scalar source
+        named ``s`` feeds input ``s``; a structured source named ``s``
+        feeds every ``s.<field>`` input.
+    max_events_per_tick:
+        Upper bound on events pulled from each source per tick (a bounded
+        ingest buffer: anything beyond stays queued in the source —
+        backpressure by not polling).  ``None`` defers to each source's own
+        arrival rate.
+    t_start:
+        Optional explicit output start time (defaults to the earliest
+        ingested event start, matching ``TiltEngine.run``).
+    retain_output:
+        Keep every emitted delta so :meth:`result` can assemble the full
+        output buffer.  Turn off for indefinitely running sessions, where
+        only the per-tick deltas and live metrics are wanted.
+    """
+
+    def __init__(
+        self,
+        engine: TiltEngine,
+        query: Union[TiltProgram, CompiledQuery],
+        sources: Sequence[object],
+        *,
+        max_events_per_tick: Optional[int] = None,
+        t_start: Optional[float] = None,
+        retain_output: bool = True,
+    ):
+        self._engine = engine
+        program, compiled = engine._prepare(query)
+        self._program = program
+        self._compiled = compiled
+        self._boundary = (
+            compiled.boundary if compiled is not None else resolve_boundaries(program)
+        )
+        self._alignment = max((te.tdom.precision for te in program.exprs), default=0.0)
+        self._max_events_per_tick = max_events_per_tick
+        self._retain_output = retain_output
+
+        self._sources = list(sources)
+        if not self._sources:
+            raise QueryBuildError("a streaming session needs at least one source")
+        self._columns: Dict[str, _IngestColumn] = {}
+        self._source_columns: List[Tuple[object, List[_IngestColumn]]] = []
+        for src in self._sources:
+            cols = []
+            for input_name in program.inputs:
+                field = None
+                if input_name == src.name:
+                    field = None
+                elif input_name.startswith(src.name + "."):
+                    field = input_name.split(".", 1)[1]
+                else:
+                    continue
+                if input_name in self._columns:
+                    raise QueryBuildError(
+                        f"input {input_name!r} is fed by more than one source"
+                    )
+                col = _IngestColumn(input_name, field)
+                self._columns[input_name] = col
+                cols.append(col)
+            if not cols:
+                raise QueryBuildError(
+                    f"source {src.name!r} matches no input of the program "
+                    f"(inputs: {list(program.inputs)})"
+                )
+            self._source_columns.append((src, cols))
+        missing = [n for n in program.inputs if n not in self._columns]
+        if missing:
+            raise ExecutionError(f"no source covers input streams: {missing}")
+
+        self._user_t_start = t_start
+        self._t_emit: Optional[float] = None
+        self._emitted_any = False
+        self._ticks = 0
+        self._closed = False
+        self._deltas: List[SSBuf] = []
+        self._total_partitions = 0
+        self._total_events = 0
+
+        # imported lazily: repro.metrics sits above the core layers in the
+        # package hierarchy, and importing it at module load time would
+        # create an import cycle through repro.apps.
+        from ...metrics.streaming import SessionMetrics
+
+        self.metrics = SessionMetrics()
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def program(self) -> TiltProgram:
+        return self._program
+
+    @property
+    def boundary(self):
+        """Resolved boundary margins governing watermark and carry-over."""
+        return self._boundary
+
+    @property
+    def watermark(self) -> float:
+        """Time through which output has been emitted so far."""
+        return -_INF if self._t_emit is None else self._t_emit
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def ticks(self) -> int:
+        return self._ticks
+
+    def retained_snapshots(self) -> int:
+        """Total input snapshots currently held as carry-over state."""
+        return sum(col.retained_snapshots() for col in self._columns.values())
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every source reports exhaustion (finite sources only)."""
+        return all(getattr(src, "exhausted", False) for src, _ in self._source_columns)
+
+    # ------------------------------------------------------------------ #
+    # the micro-batch loop
+    # ------------------------------------------------------------------ #
+    def tick(self, max_events: Optional[int] = None) -> TickResult:
+        """Ingest newly arrived events and emit the next output delta."""
+        if self._closed:
+            raise ExecutionError("session is closed")
+        started = time.perf_counter()
+        ingested = self._ingest(max_events)
+        horizon = min(src.horizon for src, _ in self._source_columns)
+        t_lo, t_hi, delta, partitions = self._emit(horizon, forced_end=None)
+        return self._finish_tick(started, ingested, t_lo, t_hi, delta, partitions)
+
+    def close(self, *, drain: bool = True) -> TickResult:
+        """Flush the remaining output and end the session.
+
+        With ``drain=True`` (the default) any events the sources still hold
+        are ingested first — but only when every source is *finite*: an
+        unbounded source can never be drained, so sessions over one skip
+        straight to the flush.  The final flush extends to the last ingested
+        event — the lookahead margin is waived because no further input can
+        arrive, exactly as a batch run's ``t_end`` is the end of its
+        (complete) input.
+        """
+        if self._closed:
+            raise ExecutionError("session is already closed")
+        started = time.perf_counter()
+        ingested = 0
+        all_finite = all(
+            getattr(src, "finite", True) for src, _ in self._source_columns
+        )
+        if drain and all_finite:
+            while not self.exhausted:
+                polled = self._ingest(None)
+                ingested += polled
+                if polled == 0:
+                    break
+        ends = [c.prev_end for c in self._columns.values() if c.started]
+        if not ends:
+            self._closed = True
+            return self._finish_tick(started, ingested, 0.0, 0.0, SSBuf.empty(0.0), 0)
+        t_final = max(ends)
+        t_lo, t_hi, delta, partitions = self._emit(_INF, forced_end=t_final)
+        self._closed = True
+        return self._finish_tick(started, ingested, t_lo, t_hi, delta, partitions)
+
+    def run_to_exhaustion(self, max_ticks: Optional[int] = None) -> List[TickResult]:
+        """Tick until every (finite) source is exhausted, then close.
+
+        When the ``max_ticks`` budget runs out first (or a source is
+        unbounded), the close flushes what was ingested without trying to
+        drain the rest.
+        """
+        results: List[TickResult] = []
+        while not self.exhausted:
+            if max_ticks is not None and len(results) >= max_ticks:
+                break
+            results.append(self.tick())
+        results.append(self.close(drain=self.exhausted))
+        return results
+
+    def result(self) -> QueryResult:
+        """Cumulative result over everything emitted so far.
+
+        Requires ``retain_output=True``.  The assembled buffer is
+        byte-identical to what one ``TiltEngine.run`` over the full ingested
+        input would have produced.
+        """
+        if not self._retain_output:
+            raise ExecutionError("session was opened with retain_output=False")
+        pieces = [d for d in self._deltas if len(d)]
+        start = self._session_start() if self._t_emit is None else None
+        if pieces:
+            output = SSBuf.concat(pieces).compact()
+        else:
+            output = SSBuf.empty(self._t_emit if self._t_emit is not None else (start or 0.0))
+        return QueryResult(
+            output=output,
+            elapsed_seconds=self.metrics.busy_seconds,
+            num_partitions=self._total_partitions,
+            workers=self._engine.workers,
+            input_events=self._total_events,
+            boundary=self._boundary,
+        )
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _ingest(self, max_events: Optional[int]) -> int:
+        budget = max_events if max_events is not None else self._max_events_per_tick
+        ingested = 0
+        for src, cols in self._source_columns:
+            events = src.poll(budget)
+            if not events:
+                continue
+            for col in cols:
+                col.extend(events)
+            ingested += len(events)
+        self._total_events += ingested
+        return ingested
+
+    def _session_start(self) -> Optional[float]:
+        if self._user_t_start is not None:
+            return float(self._user_t_start)
+        starts = [c.anchor for c in self._columns.values() if c.started]
+        return min(starts) if starts else None
+
+    def _emit(
+        self, horizon: float, forced_end: Optional[float]
+    ) -> Tuple[float, float, SSBuf, int]:
+        # (re-)derive the output start until the first delta is emitted: a
+        # late-starting input may still lower it (its events are guaranteed
+        # to arrive before any emittable watermark reaches them).
+        if not self._emitted_any:
+            start = self._session_start()
+            if start is None:
+                return (0.0, 0.0, SSBuf.empty(0.0), 0)
+            self._t_emit = start
+        assert self._t_emit is not None
+        if forced_end is not None:
+            w = forced_end
+        else:
+            w = horizon - self._boundary.max_lookahead
+            if w < _INF and self._alignment > 0:
+                w = float(np.floor(w / self._alignment) * self._alignment)
+        if not (w > self._t_emit) or w == _INF:
+            return (self._t_emit, self._t_emit, SSBuf.empty(self._t_emit), 0)
+
+        inputs = {name: col.materialize() for name, col in self._columns.items()}
+        partitions = self._engine._partition(
+            inputs, self._boundary, self._t_emit, w, self._alignment
+        )
+        executor = self._engine.shared_executor()
+        if self._compiled is not None:
+            compiled = self._compiled
+            pieces = executor.map(
+                lambda p: compiled.run(p.inputs, p.t_start, p.t_end), partitions
+            )
+        else:
+            program, boundary = self._program, self._boundary
+            pieces = executor.map(
+                lambda p: evaluate_program(
+                    program, p.inputs, p.t_start, p.t_end, boundary=boundary
+                )[program.output],
+                partitions,
+            )
+        delta = SSBuf.concat(pieces).compact() if pieces else SSBuf.empty(self._t_emit)
+        t_lo = self._t_emit
+        self._t_emit = w
+        self._emitted_any = True
+        # carry-over: every future partition reads input no earlier than
+        # (new watermark - max lookback); older snapshots are dead.
+        prune_to = w - self._boundary.max_lookback
+        for col in self._columns.values():
+            col.prune(prune_to)
+        if self._retain_output and len(delta):
+            self._deltas.append(delta)
+        return (t_lo, w, delta, len(partitions))
+
+    def _finish_tick(
+        self,
+        started: float,
+        ingested: int,
+        t_lo: float,
+        t_hi: float,
+        delta: SSBuf,
+        partitions: int,
+    ) -> TickResult:
+        elapsed = time.perf_counter() - started
+        self._ticks += 1
+        self._total_partitions += partitions
+        result = TickResult(
+            index=self._ticks - 1,
+            t_start=t_lo,
+            t_end=t_hi,
+            delta=delta,
+            events_ingested=ingested,
+            num_partitions=partitions,
+            elapsed_seconds=elapsed,
+        )
+        self.metrics.record_tick(
+            input_events=ingested,
+            output_snapshots=len(delta),
+            seconds=elapsed,
+            emitted=result.emitted,
+        )
+        return result
+
+    def __enter__(self) -> "StreamingSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if not self._closed:
+            self.close(drain=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else f"watermark={self.watermark:g}"
+        return (
+            f"StreamingSession({self._program.output!r}, ticks={self._ticks}, {state})"
+        )

@@ -117,6 +117,12 @@ class SSBuf:
         resolved by letting the most recently started event win
         (``on_overlap='last'``), which is the list/map flattening strategy
         mentioned in Section 6.1.1 reduced to a single representative value.
+
+        The streaming session's ingest columns
+        (:class:`repro.core.runtime.session._IngestColumn`) build the same
+        change-point form incrementally; any edit to the non-overlapping
+        construction here must be mirrored there, or tick-by-tick ingestion
+        stops being prefix-identical to batch ingestion.
         """
         evs = list(events)
         if not evs:
@@ -277,6 +283,17 @@ class SSBuf:
 
         Used by the partitioner (Section 6.2): each worker receives a slice of
         the input SSBuf extended backwards by the resolved lookback margin.
+
+        Slicing is *stable under pruning*, which the streaming session layer
+        depends on for its carry-over state: for any ``t <= start``,
+        ``buf.slice(t, buf.end_time).slice(start, end) == buf.slice(start, end)``.
+        A snapshot spanning the cut point is kept whole (only its implicit
+        interval start moves, via ``start_time``), so pruning a buffer to
+        ``(t, ·]`` between micro-batch ticks never changes any later slice
+        that starts at or after ``t`` — retained tails produce byte-identical
+        partitions to the full stream.  A snapshot spanning ``end`` is
+        clipped to ``end`` (keeping its value), so a slice always covers its
+        whole interval.
         """
         if end <= start:
             return SSBuf.empty(start)
@@ -305,7 +322,17 @@ class SSBuf:
         return SSBuf(self.times + dt, self.values.copy(), self.valid.copy(), self.start_time + dt)
 
     def compact(self) -> "SSBuf":
-        """Merge adjacent snapshots that hold identical values."""
+        """Merge adjacent snapshots that hold identical values.
+
+        Compaction keeps the *last* snapshot of every maximal run of equal
+        values, which makes it a canonical form: compacting concatenated
+        pieces gives the same result whether or not the pieces were
+        compacted individually.  The engine and the streaming session both
+        rely on this — partition edges and tick edges introduce snapshot
+        boundaries carrying the value the output already holds, and
+        compaction erases exactly those, so per-tick deltas concatenate to
+        the same bytes as a one-shot run.
+        """
         if len(self.times) <= 1:
             return self
         keep = np.ones(len(self.times), dtype=bool)

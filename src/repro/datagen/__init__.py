@@ -1,4 +1,4 @@
-"""Synthetic data generators standing in for the paper's datasets."""
+"""Synthetic data generators and unbounded sources for streaming sessions."""
 
 from .generators import (
     credit_card_stream,
@@ -9,6 +9,15 @@ from .generators import (
     vibration_stream,
     ysb_stream,
 )
+from .sources import (
+    BoundedIngestQueue,
+    EventSource,
+    GeneratorSource,
+    QueuedSource,
+    StreamReplaySource,
+    ThrottledSource,
+    sources_for_streams,
+)
 
 __all__ = [
     "stock_price_stream",
@@ -18,4 +27,11 @@ __all__ = [
     "credit_card_stream",
     "ysb_stream",
     "uniform_value_stream",
+    "EventSource",
+    "StreamReplaySource",
+    "GeneratorSource",
+    "ThrottledSource",
+    "BoundedIngestQueue",
+    "QueuedSource",
+    "sources_for_streams",
 ]

@@ -1,0 +1,380 @@
+"""Pull-based unbounded event sources for continuous streaming sessions.
+
+The generators in :mod:`repro.datagen.generators` produce one finite
+:class:`~repro.core.runtime.stream.EventStream` per call — the right shape
+for the paper's one-shot throughput experiments, but not for a long-running
+session that ingests events forever.  This module adapts them (and arbitrary
+event producers) to a small pull protocol consumed by
+:class:`~repro.core.runtime.session.StreamingSession`:
+
+* :meth:`EventSource.poll` hands over the next batch of events, in
+  start-time order;
+* :attr:`EventSource.horizon` is the *completeness watermark*: the source
+  guarantees that every event with ``start < horizon`` has already been
+  delivered by previous ``poll`` calls.  The session derives its output
+  watermark from this (minus the query's lookahead margin), which is what
+  makes tick-by-tick output exactly equal to a one-shot batch run;
+* :attr:`EventSource.exhausted` is True once a *finite* source has nothing
+  left (unbounded sources simply never set it).
+
+Arrival-rate control is the ``events_per_poll`` knob: each session tick
+performs one poll per source, so ``events_per_poll`` is the per-tick arrival
+batch.  :class:`BoundedIngestQueue` / :class:`QueuedSource` add the push
+side: producers (e.g. a network thread) block when the bounded queue fills
+up — the simple backpressure of every micro-batch ingest path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, List, Optional, Sequence
+
+from ..core.runtime.stream import Event, EventStream
+from ..errors import QueryBuildError
+
+__all__ = [
+    "EventSource",
+    "StreamReplaySource",
+    "GeneratorSource",
+    "ThrottledSource",
+    "BoundedIngestQueue",
+    "QueuedSource",
+    "sources_for_streams",
+]
+
+_INF = float("inf")
+
+
+class EventSource:
+    """Protocol base class for pull-based event sources.
+
+    Subclasses must deliver events in start-time order and keep
+    :attr:`horizon` consistent with what they have delivered: after a
+    ``poll``, every event with ``start < horizon`` must already have been
+    returned.  (The horizon is *strict*: an event starting exactly at the
+    horizon may still be pending.)
+    """
+
+    #: stream name; scalar sources must match the program input name, and a
+    #: structured source named ``s`` feeds the ``s.<field>`` inputs.
+    name: str = "source"
+
+    #: whether this source can ever report :attr:`exhausted`.  Sessions only
+    #: drain finite sources on ``close()`` — draining an unbounded source
+    #: would never terminate.
+    finite: bool = True
+
+    def poll(self, max_events: Optional[int] = None) -> List[Event]:
+        """Return the next in-order batch of events (possibly empty)."""
+        raise NotImplementedError
+
+    @property
+    def horizon(self) -> float:
+        """Delivery is complete for all events starting strictly before this."""
+        raise NotImplementedError
+
+    @property
+    def exhausted(self) -> bool:
+        """True when a finite source has delivered everything."""
+        return False
+
+
+class StreamReplaySource(EventSource):
+    """Replay a finite :class:`EventStream` as a pull source.
+
+    ``events_per_poll`` simulates the arrival rate: each poll releases at
+    most that many events (default: everything that is left).  This is the
+    source used by the streaming-equivalence tests — replaying the exact
+    dataset of a batch run, tick by tick.
+    """
+
+    def __init__(
+        self,
+        stream: EventStream,
+        *,
+        name: Optional[str] = None,
+        events_per_poll: Optional[int] = None,
+    ):
+        if events_per_poll is not None and events_per_poll < 1:
+            raise QueryBuildError("events_per_poll must be >= 1")
+        self.name = name or stream.name
+        self._events = list(stream.events)
+        self._pos = 0
+        self._events_per_poll = events_per_poll
+
+    def poll(self, max_events: Optional[int] = None) -> List[Event]:
+        limit = len(self._events) - self._pos
+        if self._events_per_poll is not None:
+            limit = min(limit, self._events_per_poll)
+        if max_events is not None:
+            limit = min(limit, max_events)
+        if limit <= 0:
+            return []
+        chunk = self._events[self._pos : self._pos + limit]
+        self._pos += limit
+        return chunk
+
+    @property
+    def horizon(self) -> float:
+        if self._pos >= len(self._events):
+            return _INF
+        return self._events[self._pos].start
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._events)
+
+
+class GeneratorSource(EventSource):
+    """Unbounded source stitched from successive generator chunks.
+
+    ``make_chunk(i)`` must return the ``i``-th finite chunk as an
+    :class:`EventStream` whose time axis starts at (or near) zero — exactly
+    what the :mod:`repro.datagen.generators` produce.  Each chunk is shifted
+    forward by the cumulative span of the previous chunks, so the stitched
+    stream is contiguous and unbounded::
+
+        src = GeneratorSource(lambda i: stock_price_stream(10_000, seed=i),
+                              name="stock", events_per_poll=2_000)
+
+    Varying the seed with the chunk index keeps the data non-repeating while
+    staying fully deterministic.
+    """
+
+    finite = False
+
+    def __init__(
+        self,
+        make_chunk: Callable[[int], EventStream],
+        *,
+        name: str,
+        events_per_poll: Optional[int] = None,
+    ):
+        if events_per_poll is not None and events_per_poll < 1:
+            raise QueryBuildError("events_per_poll must be >= 1")
+        self.name = name
+        self._make_chunk = make_chunk
+        self._events_per_poll = events_per_poll
+        self._chunk_index = 0
+        self._offset = 0.0
+        self._pending: Deque[Event] = deque()
+
+    def _refill(self) -> None:
+        chunk = self._make_chunk(self._chunk_index)
+        self._chunk_index += 1
+        if not len(chunk):
+            raise QueryBuildError("generator chunk produced no events")
+        lo, hi = chunk.time_range()
+        shift = self._offset - min(lo, 0.0)
+        for e in chunk.events:
+            self._pending.append(Event(e.start + shift, e.end + shift, e.payload))
+        self._offset = shift + hi
+
+    def poll(self, max_events: Optional[int] = None) -> List[Event]:
+        limit = self._events_per_poll if self._events_per_poll is not None else None
+        if max_events is not None:
+            limit = max_events if limit is None else min(limit, max_events)
+        if limit is None:
+            # no rate configured: release exactly one chunk per poll
+            if not self._pending:
+                self._refill()
+            out = list(self._pending)
+            self._pending.clear()
+            return out
+        while len(self._pending) < limit:
+            self._refill()
+        return [self._pending.popleft() for _ in range(limit)]
+
+    @property
+    def horizon(self) -> float:
+        if not self._pending:
+            self._refill()
+        return self._pending[0].start
+
+
+class ThrottledSource(EventSource):
+    """Cap the arrival rate of any inner source to ``events_per_poll``."""
+
+    def __init__(self, inner: EventSource, events_per_poll: int):
+        if events_per_poll < 1:
+            raise QueryBuildError("events_per_poll must be >= 1")
+        self.inner = inner
+        self.name = inner.name
+        self._events_per_poll = int(events_per_poll)
+
+    def poll(self, max_events: Optional[int] = None) -> List[Event]:
+        limit = self._events_per_poll
+        if max_events is not None:
+            limit = min(limit, max_events)
+        return self.inner.poll(limit)
+
+    @property
+    def finite(self) -> bool:  # type: ignore[override]
+        return self.inner.finite
+
+    @property
+    def horizon(self) -> float:
+        return self.inner.horizon
+
+    @property
+    def exhausted(self) -> bool:
+        return self.inner.exhausted
+
+
+class BoundedIngestQueue:
+    """Thread-safe bounded event queue with blocking ``put`` (backpressure).
+
+    Producers block when the queue holds ``capacity`` events, which is the
+    micro-batch backpressure contract: ingest can never run further ahead of
+    the consumer than one queue's worth of events.
+    """
+
+    def __init__(self, capacity: int = 65_536):
+        if capacity < 1:
+            raise QueryBuildError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._events: Deque[Event] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def put(self, events: Sequence[Event], timeout: Optional[float] = None) -> int:
+        """Append events, blocking while the queue is full.
+
+        Returns the number of events actually enqueued.  ``timeout`` is a
+        total deadline: if it expires (or the queue is closed) before the
+        whole batch fits, the already-enqueued prefix stays enqueued and
+        its length is returned — the caller retries ``events[n:]``.
+        """
+        remaining = list(events)
+        enqueued = 0
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_full:
+            while remaining:
+                if self._closed:
+                    break
+                free = self.capacity - len(self._events)
+                if free > 0:
+                    take, remaining = remaining[:free], remaining[free:]
+                    self._events.extend(take)
+                    enqueued += len(take)
+                    continue
+                wait = None if deadline is None else deadline - time.monotonic()
+                if wait is not None and wait <= 0:
+                    break
+                if not self._not_full.wait(timeout=wait):
+                    break
+        return enqueued
+
+    def drain(self, max_events: Optional[int] = None) -> List[Event]:
+        """Pop up to ``max_events`` events (all of them when None)."""
+        with self._not_full:
+            count = len(self._events) if max_events is None else min(max_events, len(self._events))
+            out = [self._events.popleft() for _ in range(count)]
+            if count:
+                self._not_full.notify_all()
+            return out
+
+    def peek_start(self) -> Optional[float]:
+        """Start time of the first queued event (None when empty)."""
+        with self._lock:
+            return self._events[0].start if self._events else None
+
+    def close(self) -> None:
+        """Reject further ``put`` calls and wake blocked producers."""
+        with self._not_full:
+            self._closed = True
+            self._not_full.notify_all()
+
+
+class QueuedSource(EventSource):
+    """Push-fed source: producers push into a bounded queue, the session polls.
+
+    The producer must push events in start-time order; the completeness
+    watermark advances to the start of the most recently pushed event (and
+    can be advanced past quiet periods with :meth:`advance_to`).  Closing
+    the source marks it exhausted once the queue drains, which lets
+    ``StreamingSession.close`` flush the tail.
+    """
+
+    def __init__(self, name: str, *, capacity: int = 65_536):
+        self.name = name
+        self.queue = BoundedIngestQueue(capacity)
+        self._watermark = -_INF
+        self._last_pushed_start = -_INF
+        self._closed = False
+
+    def push(self, events: Sequence[Event], timeout: Optional[float] = None) -> int:
+        """Producer side: enqueue in-order events (blocks when full).
+
+        Returns the number of events accepted.  On timeout or close the
+        accepted prefix stays delivered and the order/watermark state only
+        reflects it, so the producer can safely retry ``events[n:]``.
+        """
+        events = list(events)
+        last = self._last_pushed_start
+        for e in events:
+            if e.start < last:
+                raise QueryBuildError(
+                    f"source {self.name!r}: events must be pushed in start order"
+                )
+            last = e.start
+        n = self.queue.put(events, timeout=timeout)
+        if n:
+            self._last_pushed_start = events[n - 1].start
+            self._watermark = max(self._watermark, events[n - 1].start)
+        return n
+
+    def advance_to(self, t: float) -> None:
+        """Promise that no future event will start before ``t``."""
+        self._watermark = max(self._watermark, float(t))
+
+    def close(self) -> None:
+        """Producer side: no more events will ever be pushed."""
+        self._closed = True
+        self.queue.close()
+
+    def poll(self, max_events: Optional[int] = None) -> List[Event]:
+        return self.queue.drain(max_events)
+
+    @property
+    def horizon(self) -> float:
+        # events still sitting in the queue have not reached the consumer
+        # yet, so completeness only extends to the first queued event.
+        first = self.queue.peek_start()
+        if first is not None:
+            return first
+        if self._closed:
+            return _INF
+        return self._watermark
+
+    @property
+    def exhausted(self) -> bool:
+        return self._closed and len(self.queue) == 0
+
+
+def sources_for_streams(
+    streams,
+    *,
+    events_per_poll: Optional[int] = None,
+) -> List[StreamReplaySource]:
+    """Replay sources for a ``{input name: EventStream}`` mapping.
+
+    Convenience for tests and benchmarks: turns the dict fed to
+    ``TiltEngine.run`` into the source list fed to ``open_session``.
+    """
+    return [
+        StreamReplaySource(stream, name=name, events_per_poll=events_per_poll)
+        for name, stream in streams.items()
+    ]

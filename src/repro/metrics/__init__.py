@@ -1,4 +1,5 @@
-"""Measurement harness: throughput, latency-bounded throughput and reports."""
+"""Measurement harness: throughput, latency-bounded throughput, reports, and
+live metrics for continuous streaming sessions."""
 
 from .latency import (
     LatencySweepPoint,
@@ -14,9 +15,13 @@ from .report import (
     speedups,
     throughput_table,
 )
+from .streaming import LatencyDistribution, RollingThroughput, SessionMetrics
 from .throughput import ThroughputResult, baseline_throughput, measure, tilt_throughput
 
 __all__ = [
+    "RollingThroughput",
+    "LatencyDistribution",
+    "SessionMetrics",
     "ThroughputResult",
     "measure",
     "tilt_throughput",

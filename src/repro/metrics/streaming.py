@@ -1,0 +1,185 @@
+"""Live metrics for continuous streaming sessions.
+
+The one-shot harnesses in :mod:`repro.metrics.throughput` time a complete
+query run over a prepared dataset.  A :class:`~repro.core.runtime.session.StreamingSession`
+instead runs indefinitely in micro-batch ticks, so its interesting numbers
+are *rolling*: the sustained ingest rate over the last few seconds of
+processing, and the distribution of per-tick latencies (the time from
+pulling a micro-batch to emitting its output delta, which bounds result
+staleness the same way batch size bounds it in Figure 9 of the paper).
+
+This module is deliberately dependency-free (NumPy only) so the session
+runtime can use it without creating an upward import from
+``repro.core.runtime`` into the measurement harnesses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Tuple
+
+import numpy as np
+
+__all__ = ["RollingThroughput", "LatencyDistribution", "SessionMetrics"]
+
+
+class RollingThroughput:
+    """Events per second over a sliding window of recent ticks.
+
+    The window is bounded by tick count, so a long-running session uses O(1)
+    memory: old ticks fall out as new ones are recorded.  Cumulative totals
+    are tracked separately and never forget.
+    """
+
+    def __init__(self, window_ticks: int = 64):
+        if window_ticks < 1:
+            raise ValueError("window_ticks must be >= 1")
+        self.window_ticks = int(window_ticks)
+        self._window: Deque[Tuple[int, float]] = deque(maxlen=self.window_ticks)
+        self.total_events = 0
+        self.total_seconds = 0.0
+
+    def record(self, events: int, seconds: float) -> None:
+        self._window.append((int(events), float(seconds)))
+        self.total_events += int(events)
+        self.total_seconds += float(seconds)
+
+    @property
+    def window_events(self) -> int:
+        return sum(e for e, _ in self._window)
+
+    @property
+    def window_seconds(self) -> float:
+        return sum(s for _, s in self._window)
+
+    @property
+    def events_per_second(self) -> float:
+        """Rolling throughput over the window (0.0 before any work)."""
+        seconds = self.window_seconds
+        if seconds <= 0.0:
+            return 0.0
+        return self.window_events / seconds
+
+    @property
+    def cumulative_events_per_second(self) -> float:
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return self.total_events / self.total_seconds
+
+
+class LatencyDistribution:
+    """Percentile tracker over a bounded history of per-tick latencies.
+
+    Keeps the most recent ``capacity`` samples in a ring buffer; percentiles
+    are therefore *recent* percentiles, which is what a live dashboard wants
+    from a server that has been up for days.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._samples: Deque[float] = deque(maxlen=self.capacity)
+        self.count = 0
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(float(seconds))
+        self.count += 1
+        self.max_seconds = max(self.max_seconds, float(seconds))
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) of recent tick latencies."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.fromiter(self._samples, dtype=np.float64), q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return float(np.mean(np.fromiter(self._samples, dtype=np.float64)))
+
+
+class SessionMetrics:
+    """Aggregated live metrics of one streaming session.
+
+    Sessions call :meth:`record_tick` once per micro-batch; everything else
+    is derived.  ``busy_seconds`` counts only time spent inside ticks, so
+    ``throughput`` matches the paper's metric (events per second of query
+    execution, excluding idle/arrival time).
+    """
+
+    def __init__(self, *, window_ticks: int = 64, latency_history: int = 1024):
+        self.rolling = RollingThroughput(window_ticks=window_ticks)
+        self.latency = LatencyDistribution(capacity=latency_history)
+        self.ticks = 0
+        self.empty_ticks = 0
+        self.input_events = 0
+        self.output_snapshots = 0
+        self.busy_seconds = 0.0
+
+    def record_tick(
+        self,
+        *,
+        input_events: int,
+        output_snapshots: int,
+        seconds: float,
+        emitted: bool = True,
+    ) -> None:
+        self.ticks += 1
+        if not emitted:
+            self.empty_ticks += 1
+        self.input_events += int(input_events)
+        self.output_snapshots += int(output_snapshots)
+        self.busy_seconds += float(seconds)
+        self.rolling.record(input_events, seconds)
+        self.latency.record(seconds)
+
+    @property
+    def throughput(self) -> float:
+        """Cumulative input events per second of tick (busy) time."""
+        if self.busy_seconds <= 0.0:
+            return 0.0
+        return self.input_events / self.busy_seconds
+
+    @property
+    def rolling_throughput(self) -> float:
+        return self.rolling.events_per_second
+
+    def summary(self) -> Dict[str, float]:
+        """Snapshot of the headline numbers (stable keys, JSON-friendly)."""
+        return {
+            "ticks": float(self.ticks),
+            "empty_ticks": float(self.empty_ticks),
+            "input_events": float(self.input_events),
+            "output_snapshots": float(self.output_snapshots),
+            "busy_seconds": self.busy_seconds,
+            "events_per_second": self.throughput,
+            "rolling_events_per_second": self.rolling_throughput,
+            "tick_latency_p50": self.latency.p50,
+            "tick_latency_p95": self.latency.p95,
+            "tick_latency_p99": self.latency.p99,
+        }
+
+    def format(self) -> str:
+        """One-line human-readable rendering for live logs."""
+        return (
+            f"{self.ticks} ticks | {self.input_events:,} events | "
+            f"{self.rolling_throughput / 1e6:.3f} M ev/s rolling "
+            f"({self.throughput / 1e6:.3f} cumulative) | "
+            f"tick p50 {self.latency.p50 * 1e3:.2f} ms / "
+            f"p99 {self.latency.p99 * 1e3:.2f} ms"
+        )

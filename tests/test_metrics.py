@@ -111,3 +111,61 @@ class TestReporting:
         assert geometric_mean([]) == 0.0
         assert arithmetic_mean([]) == 0.0
         assert geometric_mean([0.0, 4.0]) == 4.0
+
+
+class TestStreamingMetrics:
+    def test_rolling_throughput_window(self):
+        from repro.metrics import RollingThroughput
+
+        roll = RollingThroughput(window_ticks=2)
+        roll.record(100, 1.0)
+        roll.record(100, 1.0)
+        roll.record(400, 1.0)
+        # window holds the last two ticks only; cumulative remembers all
+        assert roll.events_per_second == pytest.approx(250.0)
+        assert roll.cumulative_events_per_second == pytest.approx(200.0)
+        assert roll.total_events == 600
+
+    def test_latency_distribution_percentiles(self):
+        from repro.metrics import LatencyDistribution
+
+        lat = LatencyDistribution(capacity=100)
+        for ms in range(1, 101):
+            lat.record(ms / 1000.0)
+        assert lat.p50 == pytest.approx(0.0505, abs=1e-3)
+        assert lat.p99 == pytest.approx(0.100, abs=2e-3)
+        assert lat.max_seconds == pytest.approx(0.100)
+        assert lat.mean == pytest.approx(0.0505, abs=1e-3)
+
+    def test_latency_distribution_bounded_history(self):
+        from repro.metrics import LatencyDistribution
+
+        lat = LatencyDistribution(capacity=10)
+        for _ in range(5):
+            lat.record(10.0)
+        for _ in range(10):
+            lat.record(1.0)
+        # old samples fell out of the ring: percentiles reflect recent ticks
+        assert lat.p99 == pytest.approx(1.0)
+        assert lat.count == 15
+
+    def test_session_metrics_summary(self):
+        from repro.metrics import SessionMetrics
+
+        m = SessionMetrics()
+        m.record_tick(input_events=1000, output_snapshots=10, seconds=0.5)
+        m.record_tick(input_events=0, output_snapshots=0, seconds=0.1, emitted=False)
+        assert m.ticks == 2 and m.empty_ticks == 1
+        assert m.throughput == pytest.approx(1000 / 0.6)
+        summary = m.summary()
+        assert summary["ticks"] == 2.0
+        assert summary["events_per_second"] == pytest.approx(1000 / 0.6)
+        assert "ticks" in m.format()
+
+    def test_invalid_configs(self):
+        from repro.metrics import LatencyDistribution, RollingThroughput
+
+        with pytest.raises(ValueError):
+            RollingThroughput(window_ticks=0)
+        with pytest.raises(ValueError):
+            LatencyDistribution(capacity=0)

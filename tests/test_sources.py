@@ -1,0 +1,207 @@
+"""Tests for the pull-based event sources and the bounded ingest queue."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.runtime.stream import Event, EventStream
+from repro.datagen import stock_price_stream
+from repro.datagen.sources import (
+    BoundedIngestQueue,
+    GeneratorSource,
+    QueuedSource,
+    StreamReplaySource,
+    ThrottledSource,
+    sources_for_streams,
+)
+from repro.errors import QueryBuildError
+
+INF = float("inf")
+
+
+def sample_stream(n=10, period=1.0, name="s"):
+    return EventStream.from_samples(np.arange(n, dtype=float), period=period, name=name)
+
+
+class TestStreamReplaySource:
+    def test_replays_in_order_with_rate(self):
+        src = StreamReplaySource(sample_stream(10), events_per_poll=3)
+        seen = []
+        while not src.exhausted:
+            chunk = src.poll()
+            assert len(chunk) <= 3
+            seen.extend(chunk)
+        assert [e.start for e in seen] == [float(i) for i in range(10)]
+        assert src.poll() == []
+
+    def test_horizon_is_next_undelivered_start(self):
+        src = StreamReplaySource(sample_stream(4), events_per_poll=2)
+        assert src.horizon == 0.0
+        src.poll()
+        assert src.horizon == 2.0
+        src.poll()
+        assert src.horizon == INF and src.exhausted
+
+    def test_max_events_caps_poll(self):
+        src = StreamReplaySource(sample_stream(10), events_per_poll=8)
+        assert len(src.poll(max_events=2)) == 2
+
+    def test_invalid_rate(self):
+        with pytest.raises(QueryBuildError):
+            StreamReplaySource(sample_stream(3), events_per_poll=0)
+
+
+class TestGeneratorSource:
+    def test_chunks_are_stitched_contiguously(self):
+        src = GeneratorSource(
+            lambda i: sample_stream(5), name="g", events_per_poll=4
+        )
+        events = []
+        for _ in range(5):
+            events.extend(src.poll())
+        starts = [e.start for e in events]
+        # chunk k covers (5k, 5k+5]; stitched starts are 0,1,2,... forever
+        assert starts == [float(i) for i in range(len(events))]
+        assert not src.exhausted
+
+    def test_seeded_chunks_are_deterministic(self):
+        make = lambda i: stock_price_stream(100, seed=i)
+        a = GeneratorSource(make, name="stock", events_per_poll=50)
+        b = GeneratorSource(make, name="stock", events_per_poll=50)
+        ea, eb = a.poll(), b.poll()
+        assert [e.payload for e in ea] == [e.payload for e in eb]
+
+    def test_horizon_always_finite(self):
+        src = GeneratorSource(lambda i: sample_stream(5), name="g", events_per_poll=2)
+        assert src.horizon == 0.0
+        src.poll()
+        assert src.horizon == 2.0
+
+    def test_default_rate_releases_one_chunk(self):
+        src = GeneratorSource(lambda i: sample_stream(5), name="g")
+        assert len(src.poll()) == 5
+
+    def test_empty_chunk_rejected(self):
+        src = GeneratorSource(lambda i: EventStream([], name="g"), name="g")
+        with pytest.raises(QueryBuildError):
+            src.poll()
+
+
+class TestThrottledSource:
+    def test_caps_inner_rate(self):
+        inner = StreamReplaySource(sample_stream(10))
+        src = ThrottledSource(inner, events_per_poll=4)
+        assert src.name == "s"
+        assert len(src.poll()) == 4
+        assert len(src.poll(max_events=1)) == 1
+        assert src.horizon == 5.0
+        assert not src.exhausted
+
+
+class TestBoundedIngestQueue:
+    def test_put_drain_roundtrip(self):
+        q = BoundedIngestQueue(capacity=8)
+        events = sample_stream(5).events
+        assert q.put(events)
+        assert len(q) == 5
+        assert q.peek_start() == 0.0
+        assert [e.start for e in q.drain(2)] == [0.0, 1.0]
+        assert len(q.drain()) == 3
+        assert q.peek_start() is None
+
+    def test_put_blocks_until_drained(self):
+        """Backpressure: a producer pushing past capacity blocks until the
+        consumer drains."""
+        q = BoundedIngestQueue(capacity=4)
+        events = sample_stream(8).events
+        done = threading.Event()
+
+        def producer():
+            q.put(events)  # 8 events into a 4-slot queue: must block
+            done.set()
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert not done.is_set() and len(q) == 4
+        q.drain()
+        t.join(timeout=2.0)
+        assert done.is_set()
+        assert len(q) == 4  # the remaining half
+
+    def test_put_timeout_when_full(self):
+        q = BoundedIngestQueue(capacity=2)
+        assert q.put(sample_stream(2).events) == 2
+        assert q.put(sample_stream(2).events, timeout=0.05) == 0
+
+    def test_put_reports_partial_delivery(self):
+        """The timeout is a total deadline and put returns the enqueued
+        prefix length, so producers can retry events[n:] safely."""
+        q = BoundedIngestQueue(capacity=4)
+        events = sample_stream(8).events
+        start = time.monotonic()
+        n = q.put(events, timeout=0.05)
+        assert n == 4
+        assert time.monotonic() - start < 1.0
+        q.drain()
+        assert q.put(events[n:], timeout=0.05) == 4
+
+    def test_close_rejects_producers(self):
+        q = BoundedIngestQueue(capacity=2)
+        q.close()
+        assert not q.put(sample_stream(1).events)
+        assert q.closed
+
+
+class TestQueuedSource:
+    def test_push_poll_and_watermark(self):
+        src = QueuedSource("s", capacity=16)
+        events = sample_stream(4).events
+        src.push(events[:2])
+        assert src.horizon == 0.0  # first queued, undrained event
+        assert [e.start for e in src.poll()] == [0.0, 1.0]
+        assert src.horizon == 1.0  # last pushed start, once drained
+        src.advance_to(10.0)
+        assert src.horizon == 10.0
+        src.push(events[2:])
+        src.close()
+        assert not src.exhausted  # still queued
+        src.poll()
+        assert src.exhausted and src.horizon == INF
+
+    def test_rejects_out_of_order_push(self):
+        src = QueuedSource("s")
+        src.push([Event(5.0, 6.0, 1.0)])
+        with pytest.raises(QueryBuildError):
+            src.push([Event(1.0, 2.0, 1.0)])
+
+    def test_partial_push_is_retryable(self):
+        """A timed-out push must leave order/watermark state matching the
+        delivered prefix so the producer can retry the remainder."""
+        src = QueuedSource("s", capacity=3)
+        events = sample_stream(6).events
+        n = src.push(events, timeout=0.05)
+        assert n == 3 and src.horizon == 0.0
+        src.poll()
+        assert src.push(events[n:], timeout=0.05) == 3  # no order error
+        assert [e.start for e in src.poll()] == [3.0, 4.0, 5.0]
+
+
+class TestFiniteness:
+    def test_finite_flags(self):
+        replay = StreamReplaySource(sample_stream(3))
+        gen = GeneratorSource(lambda i: sample_stream(3), name="g")
+        assert replay.finite and not gen.finite
+        assert not ThrottledSource(gen, 2).finite
+        assert ThrottledSource(replay, 2).finite
+        assert QueuedSource("q").finite
+
+
+class TestSourcesForStreams:
+    def test_builds_named_replays(self):
+        streams = {"a": sample_stream(3, name="x"), "b": sample_stream(4, name="y")}
+        sources = sources_for_streams(streams, events_per_poll=2)
+        assert sorted(s.name for s in sources) == ["a", "b"]
+        assert all(isinstance(s, StreamReplaySource) for s in sources)

@@ -1,0 +1,302 @@
+"""Tests for the continuous streaming session runtime.
+
+The central property is *tick-concatenation equivalence*: feeding a dataset
+through a :class:`StreamingSession` in micro-batch ticks must produce output
+byte-identical (``SSBuf.__eq__``: same timestamps, values, validity mask and
+start time) to one ``TiltEngine.run`` over the full input — across
+applications, worker counts, tick sizes and ragged arrival patterns.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import get_application
+from repro.core.ir import IRBuilder
+from repro.core.runtime.engine import TiltEngine
+from repro.core.runtime.session import StreamingSession
+from repro.core.runtime.ssbuf import SSBuf
+from repro.core.runtime.stream import Event, EventStream
+from repro.datagen.sources import StreamReplaySource, sources_for_streams
+from repro.errors import ExecutionError, OverlappingEventsError, QueryBuildError
+from repro.windowing import SUM
+
+N_EVENTS = 2_500
+
+#: ≥3 applications spanning scalar (trading, normalize) and structured
+#: (ysb, frauddet) inputs, per the streaming-equivalence acceptance bar
+EQUIVALENCE_APPS = ["ysb", "frauddet", "normalize", "trading"]
+
+
+def run_session(engine, program, streams, tick_events, **kwargs):
+    """Drive a session over replayed streams until exhaustion; return output."""
+    sources = sources_for_streams(streams, events_per_poll=tick_events)
+    session = engine.open_session(program, sources, **kwargs)
+    session.run_to_exhaustion()
+    return session
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("app_name", EQUIVALENCE_APPS)
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_tick_concat_equals_batch(self, app_name, workers):
+        app = get_application(app_name)
+        streams = app.streams(N_EVENTS, seed=1)
+        engine = TiltEngine(workers=workers)
+        batch = engine.run(app.program(), streams)
+        for tick_events in (171, 1024):
+            session = run_session(engine, app.program(), streams, tick_events)
+            assert session.result().output == batch.output
+        engine.close()
+
+    def test_single_giant_tick_equals_batch(self):
+        app = get_application("trading")
+        streams = app.streams(N_EVENTS, seed=2)
+        engine = TiltEngine(workers=2)
+        batch = engine.run(app.program(), streams)
+        session = run_session(engine, app.program(), streams, None)
+        assert session.result().output == batch.output
+        engine.close()
+
+    def test_lookahead_margin_query(self):
+        """A future-looking window forces the watermark to trail the ingest
+        horizon by the lookahead margin; output must still match batch."""
+        b = IRBuilder()
+        x = b.stream("x")
+        b.define("fut", x.window(0, 5).reduce(SUM), precision=1.0)
+        program = b.build(output="fut")
+        rng = np.random.default_rng(3)
+        stream = EventStream.from_samples(rng.uniform(0, 10, 1500), period=1.0, name="x")
+        engine = TiltEngine(workers=2)
+        batch = engine.run(program, {"x": stream})
+        session = run_session(engine, program, {"x": stream}, 61)
+        assert session.boundary.max_lookahead == 5.0
+        assert session.result().output == batch.output
+        engine.close()
+
+    def test_interpreted_mode_session(self):
+        app = get_application("wsum")
+        streams = app.streams(800, seed=4)
+        engine = TiltEngine(workers=1, mode="interpreted")
+        batch = engine.run(app.program(), streams)
+        session = run_session(engine, app.program(), streams, 97)
+        assert session.result().output == batch.output
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=12))
+    def test_ragged_tick_sizes(self, tick_sizes):
+        """Property: any arrival pattern (ragged per-tick batch sizes)
+        reproduces the batch output exactly."""
+        app = get_application("trading")
+        streams = app.streams(1200, seed=5)
+        engine = TiltEngine(workers=1)
+        batch = engine.run(app.program(), streams)
+        sources = sources_for_streams(streams)
+        session = engine.open_session(app.program(), sources)
+        i = 0
+        while not session.exhausted:
+            session.tick(max_events=tick_sizes[i % len(tick_sizes)])
+            i += 1
+        session.close()
+        assert session.result().output == batch.output
+
+    def test_push_mode_queued_source(self):
+        """Producer pushes into a bounded queue; ticks drain it.  The pushed
+        stream must still reproduce the batch output exactly."""
+        from repro.datagen.sources import QueuedSource
+
+        app = get_application("trading")
+        streams = app.streams(800, seed=11)
+        engine = TiltEngine(workers=1)
+        batch = engine.run(app.program(), streams)
+        src = QueuedSource("stock", capacity=1024)
+        session = engine.open_session(app.program(), [src])
+        events = streams["stock"].events
+        for i in range(0, len(events), 200):
+            src.push(events[i : i + 200])
+            session.tick()
+        src.close()
+        session.close()
+        assert session.result().output == batch.output
+
+    def test_explicit_t_start(self):
+        app = get_application("trading")
+        streams = app.streams(1000, seed=6)
+        engine = TiltEngine(workers=1)
+        batch = engine.run(app.program(), streams, t_start=100.0)
+        sources = sources_for_streams(streams, events_per_poll=173)
+        session = engine.open_session(app.program(), sources, t_start=100.0)
+        session.run_to_exhaustion()
+        assert session.result().output == batch.output
+
+
+class TestSessionLifecycle:
+    def _session(self, tick_events=200, **kwargs):
+        app = get_application("trading")
+        streams = app.streams(1500, seed=7)
+        engine = TiltEngine(workers=1)
+        sources = sources_for_streams(streams, events_per_poll=tick_events)
+        return engine.open_session(app.program(), sources, **kwargs), app, streams
+
+    def test_watermark_monotone_and_deltas_disjoint(self):
+        session, _, _ = self._session()
+        prev_w = -float("inf")
+        prev_end = None
+        while not session.exhausted:
+            r = session.tick()
+            assert r.t_end >= r.t_start
+            assert session.watermark == r.t_end >= prev_w
+            prev_w = r.t_end
+            if r.emitted and len(r.delta):
+                if prev_end is not None:
+                    assert r.delta.times[0] > prev_end
+                prev_end = float(r.delta.times[-1])
+
+    def test_carry_over_is_bounded(self):
+        """Pruning must keep the retained input tail within the lookback
+        margin plus one tick — not grow with total ingested volume."""
+        session, app, _ = self._session(tick_events=100)
+        session.tick()
+        sizes = []
+        while not session.exhausted:
+            session.tick()
+            sizes.append(session.retained_snapshots())
+        # trading: 20s lookback over 1 Hz ticks -> ~20 retained snapshots;
+        # anything near the full 1500-event history means pruning is broken
+        assert max(sizes) < 200
+
+    def test_tick_after_close_raises(self):
+        session, _, _ = self._session()
+        session.run_to_exhaustion()
+        assert session.closed
+        with pytest.raises(ExecutionError):
+            session.tick()
+        with pytest.raises(ExecutionError):
+            session.close()
+
+    def test_context_manager_closes(self):
+        session, _, _ = self._session()
+        with session as s:
+            s.tick()
+        assert session.closed
+
+    def test_empty_tick_before_data(self):
+        source = StreamReplaySource(
+            EventStream([Event(10.0, 11.0, 1.0)], name="stock"), events_per_poll=1
+        )
+        engine = TiltEngine(workers=1)
+        app = get_application("trading")
+        session = engine.open_session(app.program(), [source])
+        # first tick ingests one event; the watermark cannot advance past
+        # the single event, so nothing can be emitted yet
+        r = session.tick()
+        assert not r.emitted and len(r.delta) == 0
+
+    def test_metrics_record_ticks(self):
+        session, _, _ = self._session()
+        results = session.run_to_exhaustion()
+        m = session.metrics
+        assert m.ticks == len(results)
+        assert m.input_events == 1500
+        assert m.throughput > 0
+        assert m.latency.p99 >= m.latency.p50 >= 0
+        summary = m.summary()
+        assert summary["input_events"] == 1500.0
+        assert "M ev/s" in m.format()
+
+    def test_out_of_order_arrival_rejected(self):
+        engine = TiltEngine(workers=1)
+        app = get_application("trading")
+        events = [Event(5.0, 6.0, 1.0), Event(1.0, 2.0, 2.0)]
+        source = StreamReplaySource(EventStream(events, name="stock", check_order=False))
+        session = engine.open_session(app.program(), [source])
+        with pytest.raises(OverlappingEventsError):
+            session.tick()
+
+    def test_result_requires_retained_output(self):
+        session, _, _ = self._session(retain_output=False)
+        session.run_to_exhaustion()
+        with pytest.raises(ExecutionError):
+            session.result()
+
+
+class TestSessionWiring:
+    def test_missing_input_source_rejected(self):
+        engine = TiltEngine(workers=1)
+        app = get_application("trading")
+        with pytest.raises(QueryBuildError):
+            engine.open_session(app.program(), [])
+        bad = StreamReplaySource(EventStream([Event(0.0, 1.0, 1.0)], name="nonsense"))
+        with pytest.raises(QueryBuildError):
+            engine.open_session(app.program(), [bad])
+
+    def test_duplicate_source_rejected(self):
+        engine = TiltEngine(workers=1)
+        app = get_application("trading")
+        stream = EventStream([Event(0.0, 1.0, 1.0)], name="stock")
+        with pytest.raises(QueryBuildError):
+            engine.open_session(
+                app.program(),
+                [StreamReplaySource(stream), StreamReplaySource(stream)],
+            )
+
+    def test_sessions_share_compiled_kernels_and_executor(self):
+        engine = TiltEngine(workers=2)
+        app = get_application("trading")
+        program = app.program()
+        streams = app.streams(600, seed=8)
+        s1 = engine.open_session(program, sources_for_streams(streams, events_per_poll=100))
+        s2 = engine.open_session(program, sources_for_streams(streams, events_per_poll=250))
+        # one compilation, one worker pool, shared by both sessions
+        assert s1._compiled is s2._compiled
+        assert engine.shared_executor() is engine.shared_executor()
+        s1.run_to_exhaustion()
+        s2.run_to_exhaustion()
+        assert s1.result().output == s2.result().output
+        engine.close()
+        assert engine._executor is None
+
+    def test_open_session_accepts_precompiled_query(self):
+        engine = TiltEngine(workers=1)
+        app = get_application("trading")
+        compiled = engine.compile(app.program())
+        streams = app.streams(600, seed=9)
+        batch = engine.run(compiled, streams)
+        session = engine.open_session(compiled, sources_for_streams(streams, events_per_poll=200))
+        session.run_to_exhaustion()
+        assert session.result().output == batch.output
+
+    def test_close_terminates_on_unbounded_source(self):
+        """close()/run_to_exhaustion must not try to drain an unbounded
+        source — they flush what was ingested and return."""
+        from repro.datagen.sources import GeneratorSource
+        from repro.datagen import stock_price_stream
+
+        engine = TiltEngine(workers=1)
+        app = get_application("trading")
+        feed = GeneratorSource(
+            lambda i: stock_price_stream(2000, seed=i), name="stock", events_per_poll=500
+        )
+        session = engine.open_session(app.program(), [feed], retain_output=False)
+        results = session.run_to_exhaustion(max_ticks=4)
+        assert session.closed and len(results) == 5  # 4 ticks + final flush
+
+    def test_compile_cache_respects_engine_settings(self):
+        engine = TiltEngine(workers=1)
+        program = get_application("trading").program()
+        fused = engine.compile_cached(program)
+        engine.enable_fusion = False
+        unfused = engine.compile_cached(program)
+        assert fused is not unfused
+        assert len(unfused.kernels) > len(fused.kernels)
+        engine.enable_fusion = True
+        assert engine.compile_cached(program) is fused
+
+    def test_engine_run_still_works_as_context_manager(self):
+        app = get_application("trading")
+        streams = app.streams(600, seed=10)
+        with TiltEngine(workers=2) as engine:
+            result = engine.run(app.program(), streams)
+            assert result.output.num_valid() >= 0
+        assert engine._executor is None
