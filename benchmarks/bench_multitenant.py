@@ -1,0 +1,193 @@
+"""Multi-tenant serving: aggregate throughput and per-tenant latency vs.
+tenant count and scheduler policy.
+
+Beyond the paper: the `repro.serve.QueryService` packs many tenant queries
+onto one shared engine, which is exactly the deployment TiLT's
+synchronization-free partition parallelism enables — ticks of independent
+tenants are embarrassingly parallel work for one worker pool.  This
+benchmark sweeps tenant count × scheduler policy over a deliberately
+**skewed** fleet (every fourth tenant runs the heavy YSB query over 8×
+the events of the light trading/normalization tenants) and reports:
+
+* aggregate service throughput (total events / wall-clock to drain all
+  tenants);
+* per-tenant p99 *emit gap* — the wall-clock interval between a tenant's
+  consecutive output emissions, i.e. the staleness a tenant observes under
+  contention.  This is where the policies differ: round-robin gives every
+  tenant a turn per cycle regardless of cost, so heavy tenants inflate the
+  light tenants' gaps; deficit fair-share charges tenants their measured
+  tick cost and schedules the expensive ones less often, cutting the light
+  tenants' p99 while fairness (Jain's index over weighted busy time) rises.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_multitenant.py [--json results.json]
+
+or under pytest (one quick configuration)::
+
+    pytest benchmarks/bench_multitenant.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, List
+
+from repro.apps import get_application
+from repro.datagen.sources import sources_for_streams
+from repro.serve import QueryService
+
+TENANT_SWEEP = [4, 12, 20]
+POLICIES = ["round_robin", "fair"]
+WORKERS = 4
+HEAVY_EVENTS = 24_000
+LIGHT_EVENTS = 3_000
+LIGHT_APPS = ["trading", "normalize", "wsum"]
+
+
+def tenant_plan(n_tenants: int) -> List[Dict]:
+    """A skewed fleet: every fourth tenant is a heavy YSB query."""
+    plan = []
+    for i in range(n_tenants):
+        if i % 4 == 3:
+            plan.append(
+                {"app": "ysb", "events": HEAVY_EVENTS, "tick": 4_000, "kind": "heavy"}
+            )
+        else:
+            plan.append(
+                {
+                    "app": LIGHT_APPS[i % len(LIGHT_APPS)],
+                    "events": LIGHT_EVENTS,
+                    "tick": 500,
+                    "kind": "light",
+                }
+            )
+    return plan
+
+
+def run_config(policy: str, n_tenants: int, *, workers: int = WORKERS) -> Dict:
+    """Drain a full skewed fleet under one policy; return the stats row."""
+    plan = tenant_plan(n_tenants)
+    service = QueryService(workers=workers, policy=policy, max_tenants=n_tenants)
+    programs: Dict[str, object] = {}
+    total_events = 0
+    try:
+        for i, spec in enumerate(plan):
+            app = get_application(spec["app"])
+            programs.setdefault(spec["app"], app.program())
+            streams = app.streams(spec["events"], seed=i)
+            total_events += sum(len(s) for s in streams.values())
+            service.submit(
+                programs[spec["app"]],
+                name=f"{spec['kind']}-{spec['app']}-{i}",
+                sources=sources_for_streams(streams, events_per_poll=spec["tick"]),
+                retain_output=False,
+            )
+        started = time.perf_counter()
+        service.run_until_idle()
+        wall = time.perf_counter() - started
+        stats = service.stats()
+        light_p99 = [
+            t["emit_gap_p99"]
+            for name, t in stats.tenants.items()
+            if name.startswith("light")
+        ]
+        heavy_p99 = [
+            t["emit_gap_p99"]
+            for name, t in stats.tenants.items()
+            if name.startswith("heavy")
+        ]
+        return {
+            "policy": policy,
+            "tenants": n_tenants,
+            "workers": workers,
+            "events": total_events,
+            "wall_seconds": wall,
+            "events_per_second": total_events / wall if wall > 0 else float("inf"),
+            "light_emit_gap_p99": max(light_p99) if light_p99 else 0.0,
+            "heavy_emit_gap_p99": max(heavy_p99) if heavy_p99 else 0.0,
+            "tick_latency_p99": stats.fleet.tick_latency_p99,
+            "fairness": stats.fleet.fairness,
+            "per_tenant": {
+                name: {
+                    "events_per_second": t["events_per_second"],
+                    "tick_latency_p99": t["tick_latency_p99"],
+                    "emit_gap_p99": t["emit_gap_p99"],
+                }
+                for name, t in stats.tenants.items()
+            },
+        }
+    finally:
+        service.close()
+
+
+def run_sweep(tenant_sweep=TENANT_SWEEP, policies=POLICIES, workers=WORKERS) -> List[Dict]:
+    rows = []
+    print(
+        f"{'policy':>12} {'tenants':>8} {'M ev/s':>8} {'light p99 gap (ms)':>19} "
+        f"{'heavy p99 gap (ms)':>19} {'fairness':>9}"
+    )
+    for n_tenants in tenant_sweep:
+        for policy in policies:
+            row = run_config(policy, n_tenants, workers=workers)
+            rows.append(row)
+            print(
+                f"{policy:>12} {n_tenants:>8d} "
+                f"{row['events_per_second'] / 1e6:>8.3f} "
+                f"{row['light_emit_gap_p99'] * 1e3:>19.2f} "
+                f"{row['heavy_emit_gap_p99'] * 1e3:>19.2f} "
+                f"{row['fairness']:>9.3f}"
+            )
+    return rows
+
+
+def test_multitenant_smoke():
+    """Quick CI-sized configuration: 4 skewed tenants, both policies."""
+    for policy in POLICIES:
+        row = run_config(policy, 4, workers=2)
+        assert row["events_per_second"] > 0
+        assert 0.0 < row["fairness"] <= 1.0
+        print(
+            f"\n[multitenant] {policy}: {row['events_per_second'] / 1e6:.3f} M ev/s, "
+            f"light p99 gap {row['light_emit_gap_p99'] * 1e3:.1f} ms, "
+            f"fairness {row['fairness']:.3f}"
+        )
+
+
+def main() -> None:
+    import benchutil
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tenants", type=int, nargs="*", default=TENANT_SWEEP)
+    parser.add_argument("--policies", nargs="*", default=POLICIES, choices=POLICIES)
+    parser.add_argument("--workers", type=int, default=WORKERS)
+    benchutil.add_json_option(parser)
+    args = parser.parse_args()
+    rows = run_sweep(args.tenants, args.policies, args.workers)
+    if args.json:
+        for row in rows:
+            benchutil.record_result(
+                "multitenant/skewed",
+                params={
+                    "policy": row["policy"],
+                    "tenants": row["tenants"],
+                    "workers": row["workers"],
+                },
+                events=row["events"],
+                events_per_sec=row["events_per_second"],
+                latency_percentiles={
+                    "tick_p99": row["tick_latency_p99"],
+                    "light_emit_gap_p99": row["light_emit_gap_p99"],
+                    "heavy_emit_gap_p99": row["heavy_emit_gap_p99"],
+                },
+                extra={
+                    "fairness": row["fairness"],
+                    "per_tenant": row["per_tenant"],
+                },
+            )
+        benchutil.write_json(args.json)
+
+
+if __name__ == "__main__":
+    main()

@@ -116,11 +116,29 @@ def test_sustained_throughput_smoke():
 
 
 def main() -> None:
+    import benchutil
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workers", type=int, nargs="*", default=WORKER_SWEEP)
     parser.add_argument("--tick-events", type=int, nargs="*", default=TICK_EVENT_SWEEP)
+    benchutil.add_json_option(parser)
     args = parser.parse_args()
-    run_sweep(args.workers, args.tick_events)
+    rows = run_sweep(args.workers, args.tick_events)
+    if args.json:
+        for row in rows:
+            benchutil.record_result(
+                "sustained/ysb",
+                params={
+                    "workers": int(row["workers"]),
+                    "events_per_tick": int(row["events_per_tick"]),
+                },
+                events_per_sec=row["events_per_second"],
+                latency_percentiles={
+                    "p50": row["tick_p50_ms"] / 1e3,
+                    "p99": row["tick_p99_ms"] / 1e3,
+                },
+            )
+        benchutil.write_json(args.json)
 
 
 if __name__ == "__main__":

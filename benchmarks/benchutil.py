@@ -1,6 +1,81 @@
-"""Helpers shared by the benchmark files."""
+"""Helpers shared by the benchmark files.
+
+Besides the console table rows, every benchmark result can be captured as a
+machine-readable record (name, params, events/sec, latency percentiles) and
+written to a JSON file, so a perf trajectory can be recorded across
+commits:
+
+* argparse-driven scripts (``bench_sustained_throughput.py``,
+  ``bench_multitenant.py``) take ``--json PATH`` (see :func:`add_json_option`);
+* pytest-benchmark suites (the ``bench_fig*`` files) take
+  ``pytest --bench-json PATH`` (wired in ``conftest.py``) — every
+  :func:`record_throughput` row is collected automatically.
+"""
 
 from __future__ import annotations
+
+import json
+import platform
+import sys
+from typing import Dict, List, Optional
+
+#: machine-readable results collected during this process (one dict per
+#: benchmark row; see :func:`record_result` for the schema)
+RECORDS: List[dict] = []
+
+
+def record_result(
+    name: str,
+    *,
+    params: Optional[Dict] = None,
+    events: Optional[int] = None,
+    events_per_sec: Optional[float] = None,
+    latency_percentiles: Optional[Dict[str, float]] = None,
+    extra: Optional[Dict] = None,
+) -> dict:
+    """Append one benchmark row to the in-process :data:`RECORDS` registry.
+
+    The schema is intentionally flat and stable: ``name`` identifies the
+    benchmark and series, ``params`` the configuration axes (workers, tick
+    size, tenant count, policy, ...), ``events_per_sec`` the headline
+    throughput, and ``latency_percentiles`` a ``{"p50": ..., "p99": ...}``
+    mapping in seconds.
+    """
+    record = {
+        "name": name,
+        "params": dict(params or {}),
+        "events": events,
+        "events_per_sec": events_per_sec,
+        "latency_percentiles": dict(latency_percentiles or {}),
+    }
+    if extra:
+        record["extra"] = dict(extra)
+    RECORDS.append(record)
+    return record
+
+
+def write_json(path: str, records: Optional[List[dict]] = None) -> None:
+    """Write collected benchmark records to ``path`` as a JSON document."""
+    payload = {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "results": list(RECORDS if records is None else records),
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[benchutil] wrote {len(payload['results'])} result(s) to {path}")
+
+
+def add_json_option(parser) -> None:
+    """Add the standard ``--json PATH`` flag to an argparse parser."""
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write machine-readable results (name, params, events/sec, "
+        "latency percentiles) to this JSON file",
+    )
 
 
 def record_throughput(benchmark, label: str, input_events: int) -> float:
@@ -8,6 +83,8 @@ def record_throughput(benchmark, label: str, input_events: int) -> float:
 
     The paper reports throughput as input events processed per second of
     query execution; ``benchmark.stats`` holds the measured execution times.
+    The row is also appended to :data:`RECORDS`, so ``--bench-json`` can
+    dump the whole run.
     """
     mean_seconds = benchmark.stats.stats.mean
     throughput = input_events / mean_seconds if mean_seconds > 0 else float("inf")
@@ -17,6 +94,12 @@ def record_throughput(benchmark, label: str, input_events: int) -> float:
     print(
         f"\n[{label}] {throughput / 1e6:.3f} M events/s "
         f"({input_events} events, {mean_seconds * 1e3:.1f} ms)"
+    )
+    record_result(
+        label,
+        events=input_events,
+        events_per_sec=throughput,
+        extra={"mean_seconds": mean_seconds},
     )
     return throughput
 

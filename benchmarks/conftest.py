@@ -7,12 +7,34 @@ Run the whole suite with::
 Each benchmark prints a one-line row with its throughput in million events
 per second, reproducing the rows/series of the corresponding paper table or
 figure, and attaches the same numbers to ``benchmark.extra_info`` so they
-also appear in the pytest-benchmark JSON/console output.
+also appear in the pytest-benchmark JSON/console output.  Pass
+``--bench-json PATH`` to additionally dump every collected row as a
+machine-readable JSON document (see ``benchutil.write_json``).
 """
 
 from __future__ import annotations
 
 import pytest
+
+import benchutil
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help="write the machine-readable benchmark records collected by "
+        "benchutil (name, params, events/sec, latency percentiles) to this "
+        "JSON file at the end of the run",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-json")
+    if path and benchutil.RECORDS:
+        benchutil.write_json(path)
 
 
 @pytest.fixture(scope="session")

@@ -15,7 +15,11 @@ runtime for stream queries.  This package provides:
   datasets;
 * ``repro.apps`` — the Yahoo Streaming Benchmark and the eight real-world
   applications of the paper's evaluation;
-* ``repro.metrics`` — throughput and latency-bounded-throughput harnesses.
+* ``repro.metrics`` — throughput and latency-bounded-throughput harnesses,
+  plus live session and fleet metrics;
+* ``repro.serve`` — the multi-tenant streaming query service: tick
+  scheduling (round-robin / deficit fair-share), admission control and
+  fleet-level observability over one shared engine.
 
 Quickstart::
 
@@ -54,6 +58,7 @@ from .core import (
     when,
 )
 from .errors import TiltError
+from .serve import QueryService, ServiceStats
 
 __version__ = "1.0.0"
 
@@ -79,4 +84,6 @@ __all__ = [
     "TiltEngine",
     "StreamingSession",
     "TickResult",
+    "QueryService",
+    "ServiceStats",
 ]

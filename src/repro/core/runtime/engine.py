@@ -16,7 +16,9 @@
 
 from __future__ import annotations
 
+import threading
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
@@ -102,9 +104,15 @@ class TiltEngine:
         self.optimize = optimize
         self.enable_fusion = enable_fusion
         # shared across run() calls and all sessions of this engine: one
-        # worker pool and one CompiledQuery per program (see open_session)
+        # worker pool and one CompiledQuery per program (see open_session).
+        # Both are created/looked up under the lock — many sessions open
+        # concurrently from different threads (the multi-tenant service
+        # does exactly that) and must not race pool creation or compile
+        # the same program twice.
+        self._lock = threading.RLock()
         self._executor: Optional[Executor] = None
         self._compile_cache: Dict[tuple, Tuple[TiltProgram, CompiledQuery]] = {}
+        self._sessions: List["weakref.ref"] = []
 
     # ------------------------------------------------------------------ #
     # compilation
@@ -125,14 +133,18 @@ class TiltEngine:
         compilation settings, so flipping ``optimize``/``enable_fusion``
         between sessions recompiles instead of returning stale kernels.
         (Entries hold a strong reference to the program, so the ``id``-based
-        key stays valid; ``close()`` empties the cache.)
+        key stays valid; ``close()`` empties the cache.)  Thread-safe: the
+        whole check-compile-insert is one critical section, so concurrent
+        sessions over the same program get the same ``CompiledQuery`` and
+        the program is compiled exactly once.
         """
         key = (id(program), self.optimize, self.enable_fusion)
-        entry = self._compile_cache.get(key)
-        if entry is None or entry[0] is not program:
-            entry = (program, self.compile(program))
-            self._compile_cache[key] = entry
-        return entry[1]
+        with self._lock:
+            entry = self._compile_cache.get(key)
+            if entry is None or entry[0] is not program:
+                entry = (program, self.compile(program))
+                self._compile_cache[key] = entry
+            return entry[1]
 
     # ------------------------------------------------------------------ #
     # shared resources
@@ -143,17 +155,46 @@ class TiltEngine:
         Created lazily and reused by every ``run`` call and every streaming
         session, so concurrent queries share one set of worker threads
         instead of spawning a pool per query.  ``close`` releases it.
+        Thread-safe: concurrent first calls create exactly one pool.
         """
-        if self._executor is None:
-            self._executor = make_executor(self.workers)
-        return self._executor
+        with self._lock:
+            if self._executor is None:
+                self._executor = make_executor(self.workers)
+            return self._executor
+
+    def _register_session(self, session) -> None:
+        """Track a session opened on this engine (weakly, so an abandoned
+        session can still be garbage collected)."""
+        with self._lock:
+            self._sessions = [ref for ref in self._sessions if ref() is not None]
+            self._sessions.append(weakref.ref(session))
+
+    def open_sessions(self) -> List[object]:
+        """Sessions opened on this engine that have not been closed yet."""
+        with self._lock:
+            return [
+                s for s in (ref() for ref in self._sessions)
+                if s is not None and not s.closed
+            ]
 
     def close(self) -> None:
-        """Shut down the shared worker pool and drop cached compilations."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
-        self._compile_cache.clear()
+        """Shut down the shared worker pool and drop cached compilations.
+
+        Any session still open on the engine is **aborted** first (marked
+        closed with no final output flush — a flush would run arbitrary
+        query work inside a teardown path, on a pool that is about to be
+        shut down).  Callers who want the tail output must ``close()`` their
+        sessions before closing the engine.  Subsequent ``tick``/``close``
+        calls on an aborted session raise :class:`ExecutionError`.
+        """
+        for session in self.open_sessions():
+            session.abort()
+        with self._lock:
+            self._sessions.clear()
+            if self._executor is not None:
+                self._executor.shutdown()
+                self._executor = None
+            self._compile_cache.clear()
 
     def __enter__(self) -> "TiltEngine":
         return self

@@ -103,7 +103,14 @@ def plan_partitions(
         edges = [t_start + i * interval for i in range(count)] + [t_end]
         edges = [min(e, t_end) for e in edges]
     if align and align > 0:
-        interior = [math.floor(e / align) * align for e in edges[1:-1]]
+        # Snapping must not move an interior edge below the range start: with
+        # partitions narrower than the grid and an off-grid t_start, flooring
+        # would otherwise create a partition that begins before (and overlaps)
+        # the requested output range.  Clamped edges collapse into empty
+        # partitions and are filtered below.
+        interior = [
+            max(math.floor(e / align) * align, edges[0]) for e in edges[1:-1]
+        ]
         edges = [edges[0]] + interior + [edges[-1]]
     bounds: List[Tuple[float, float]] = []
     for i in range(len(edges) - 1):

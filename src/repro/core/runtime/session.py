@@ -299,6 +299,7 @@ class StreamingSession:
         from ...metrics.streaming import SessionMetrics
 
         self.metrics = SessionMetrics()
+        engine._register_session(self)
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -379,6 +380,16 @@ class StreamingSession:
         t_lo, t_hi, delta, partitions = self._emit(_INF, forced_end=t_final)
         self._closed = True
         return self._finish_tick(started, ingested, t_lo, t_hi, delta, partitions)
+
+    def abort(self) -> None:
+        """Close immediately, skipping the final output flush.
+
+        Unlike :meth:`close` this runs no query work at all, which makes it
+        safe to call during teardown (``TiltEngine.close`` aborts any
+        sessions still open before shutting down the worker pool).
+        Idempotent: aborting a closed session is a no-op.
+        """
+        self._closed = True
 
     def run_to_exhaustion(self, max_ticks: Optional[int] = None) -> List[TickResult]:
         """Tick until every (finite) source is exhausted, then close.
@@ -482,6 +493,12 @@ class StreamingSession:
             )
         delta = SSBuf.concat(pieces).compact() if pieces else SSBuf.empty(self._t_emit)
         t_lo = self._t_emit
+        # retain the delta *before* advancing the watermark: a concurrent
+        # reader of result() then sees at worst a one-tick-stale output,
+        # never an output stamped complete through a watermark whose delta
+        # is missing.
+        if self._retain_output and len(delta):
+            self._deltas.append(delta)
         self._t_emit = w
         self._emitted_any = True
         # carry-over: every future partition reads input no earlier than
@@ -489,8 +506,6 @@ class StreamingSession:
         prune_to = w - self._boundary.max_lookback
         for col in self._columns.values():
             col.prune(prune_to)
-        if self._retain_output and len(delta):
-            self._deltas.append(delta)
         return (t_lo, w, delta, len(partitions))
 
     def _finish_tick(

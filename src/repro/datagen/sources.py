@@ -32,7 +32,7 @@ from collections import deque
 from typing import Callable, Deque, List, Optional, Sequence
 
 from ..core.runtime.stream import Event, EventStream
-from ..errors import QueryBuildError
+from ..errors import QueryBuildError, QueueClosedError
 
 __all__ = [
     "EventSource",
@@ -222,6 +222,13 @@ class ThrottledSource(EventSource):
     def exhausted(self) -> bool:
         return self.inner.exhausted
 
+    @property
+    def depth(self) -> int:
+        """Forwarded from the inner source (0 when it has no queue): a
+        throttled queue-backed source must still report buffered events so
+        a parked service tenant becomes ready again."""
+        return getattr(self.inner, "depth", 0)
+
 
 class BoundedIngestQueue:
     """Thread-safe bounded event queue with blocking ``put`` (backpressure).
@@ -253,9 +260,15 @@ class BoundedIngestQueue:
         """Append events, blocking while the queue is full.
 
         Returns the number of events actually enqueued.  ``timeout`` is a
-        total deadline: if it expires (or the queue is closed) before the
-        whole batch fits, the already-enqueued prefix stays enqueued and
-        its length is returned — the caller retries ``events[n:]``.
+        total deadline: if it expires before the whole batch fits, the
+        already-enqueued prefix stays enqueued and its length is returned —
+        the caller retries ``events[n:]``.
+
+        A ``put`` into a closed queue raises :class:`QueueClosedError`
+        instead of silently accepting nothing; a producer *blocked* on a
+        full queue is woken by :meth:`close` and gets the same exception
+        (no deadlock), with ``exc.enqueued`` reporting the prefix that was
+        accepted before the close and stays deliverable to the consumer.
         """
         remaining = list(events)
         enqueued = 0
@@ -263,7 +276,12 @@ class BoundedIngestQueue:
         with self._not_full:
             while remaining:
                 if self._closed:
-                    break
+                    raise QueueClosedError(
+                        f"put into closed queue ({enqueued} of "
+                        f"{enqueued + len(remaining)} events were accepted "
+                        "before the close)",
+                        enqueued=enqueued,
+                    )
                 free = self.capacity - len(self._events)
                 if free > 0:
                     take, remaining = remaining[:free], remaining[free:]
@@ -314,27 +332,46 @@ class QueuedSource(EventSource):
         self._watermark = -_INF
         self._last_pushed_start = -_INF
         self._closed = False
+        # serializes concurrent producers: order validation and the queue
+        # put must be atomic, or two in-order batches could interleave
+        self._push_lock = threading.Lock()
 
     def push(self, events: Sequence[Event], timeout: Optional[float] = None) -> int:
         """Producer side: enqueue in-order events (blocks when full).
 
-        Returns the number of events accepted.  On timeout or close the
-        accepted prefix stays delivered and the order/watermark state only
-        reflects it, so the producer can safely retry ``events[n:]``.
+        Returns the number of events accepted.  On timeout the accepted
+        prefix stays delivered and the order/watermark state only reflects
+        it, so the producer can safely retry ``events[n:]``.  Pushing into a
+        closed source raises :class:`~repro.errors.QueueClosedError`; any
+        prefix accepted before the close stays delivered and is reflected in
+        the watermark before the exception propagates.
+
+        Thread-safe: concurrent producers are serialized, so each one's
+        order check sees the state its batch will actually follow.  (A
+        blocked push holds the serialization lock — concurrent producers
+        queue behind it and are all woken by :meth:`close`.)
         """
         events = list(events)
-        last = self._last_pushed_start
-        for e in events:
-            if e.start < last:
-                raise QueryBuildError(
-                    f"source {self.name!r}: events must be pushed in start order"
-                )
-            last = e.start
-        n = self.queue.put(events, timeout=timeout)
+        with self._push_lock:
+            last = self._last_pushed_start
+            for e in events:
+                if e.start < last:
+                    raise QueryBuildError(
+                        f"source {self.name!r}: events must be pushed in start order"
+                    )
+                last = e.start
+            try:
+                n = self.queue.put(events, timeout=timeout)
+            except QueueClosedError as exc:
+                self._record_pushed(events, exc.enqueued)
+                raise
+            self._record_pushed(events, n)
+            return n
+
+    def _record_pushed(self, events: Sequence[Event], n: int) -> None:
         if n:
             self._last_pushed_start = events[n - 1].start
             self._watermark = max(self._watermark, events[n - 1].start)
-        return n
 
     def advance_to(self, t: float) -> None:
         """Promise that no future event will start before ``t``."""
@@ -347,6 +384,11 @@ class QueuedSource(EventSource):
 
     def poll(self, max_events: Optional[int] = None) -> List[Event]:
         return self.queue.drain(max_events)
+
+    @property
+    def depth(self) -> int:
+        """Events currently buffered and not yet polled by the consumer."""
+        return len(self.queue)
 
     @property
     def horizon(self) -> float:

@@ -34,6 +34,25 @@ class ExecutionError(TiltError):
     """A compiled query failed while running."""
 
 
+class QueueClosedError(ExecutionError):
+    """A producer tried to ``put`` into a closed :class:`BoundedIngestQueue`.
+
+    ``enqueued`` is the length of the prefix that was accepted before the
+    close was observed (0 when the queue was already closed on entry); those
+    events stay enqueued and will still be delivered to the consumer.
+    """
+
+    def __init__(self, message: str, enqueued: int = 0):
+        super().__init__(message)
+        self.enqueued = int(enqueued)
+
+
+class AdmissionError(TiltError):
+    """The multi-tenant query service refused to admit a new tenant
+    (the configured tenant limit is reached; free a slot by cancelling or
+    draining an existing tenant)."""
+
+
 class UnsupportedOperationError(TiltError):
     """An engine was asked to run an operator it does not implement.
 

@@ -1,6 +1,8 @@
-"""Measurement harness: throughput, latency-bounded throughput, reports, and
-live metrics for continuous streaming sessions."""
+"""Measurement harness: throughput, latency-bounded throughput, reports,
+live metrics for continuous streaming sessions, and fleet-level aggregates
+for the multi-tenant query service."""
 
+from .fleet import FleetSnapshot, aggregate_fleet, jain_fairness_index
 from .latency import (
     LatencySweepPoint,
     baseline_latency_sweep,
@@ -22,6 +24,9 @@ __all__ = [
     "RollingThroughput",
     "LatencyDistribution",
     "SessionMetrics",
+    "FleetSnapshot",
+    "aggregate_fleet",
+    "jain_fairness_index",
     "ThroughputResult",
     "measure",
     "tilt_throughput",

@@ -15,8 +15,9 @@ runtime can use it without creating an upward import from
 
 from __future__ import annotations
 
+import threading
 from collections import deque
-from typing import Deque, Dict, Tuple
+from typing import Deque, Dict, List, Tuple
 
 import numpy as np
 
@@ -29,6 +30,10 @@ class RollingThroughput:
     The window is bounded by tick count, so a long-running session uses O(1)
     memory: old ticks fall out as new ones are recorded.  Cumulative totals
     are tracked separately and never forget.
+
+    Readers and the recording thread may differ (a monitoring thread polls
+    service stats while the scheduler records ticks), so the window is read
+    and written under a lock.
     """
 
     def __init__(self, window_ticks: int = 64):
@@ -36,21 +41,25 @@ class RollingThroughput:
             raise ValueError("window_ticks must be >= 1")
         self.window_ticks = int(window_ticks)
         self._window: Deque[Tuple[int, float]] = deque(maxlen=self.window_ticks)
+        self._lock = threading.Lock()
         self.total_events = 0
         self.total_seconds = 0.0
 
     def record(self, events: int, seconds: float) -> None:
-        self._window.append((int(events), float(seconds)))
-        self.total_events += int(events)
-        self.total_seconds += float(seconds)
+        with self._lock:
+            self._window.append((int(events), float(seconds)))
+            self.total_events += int(events)
+            self.total_seconds += float(seconds)
 
     @property
     def window_events(self) -> int:
-        return sum(e for e, _ in self._window)
+        with self._lock:
+            return sum(e for e, _ in self._window)
 
     @property
     def window_seconds(self) -> float:
-        return sum(s for _, s in self._window)
+        with self._lock:
+            return sum(s for _, s in self._window)
 
     @property
     def events_per_second(self) -> float:
@@ -73,6 +82,9 @@ class LatencyDistribution:
     Keeps the most recent ``capacity`` samples in a ring buffer; percentiles
     are therefore *recent* percentiles, which is what a live dashboard wants
     from a server that has been up for days.
+
+    Like :class:`RollingThroughput`, safe to read from a monitoring thread
+    while another thread records.
     """
 
     def __init__(self, capacity: int = 1024):
@@ -80,19 +92,31 @@ class LatencyDistribution:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
         self._samples: Deque[float] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
         self.count = 0
         self.max_seconds = 0.0
 
     def record(self, seconds: float) -> None:
-        self._samples.append(float(seconds))
-        self.count += 1
-        self.max_seconds = max(self.max_seconds, float(seconds))
+        with self._lock:
+            self._samples.append(float(seconds))
+            self.count += 1
+            self.max_seconds = max(self.max_seconds, float(seconds))
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (0..100) of recent tick latencies."""
-        if not self._samples:
+        samples = self.samples()
+        if not samples:
             return 0.0
-        return float(np.percentile(np.fromiter(self._samples, dtype=np.float64), q))
+        return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+    def samples(self) -> List[float]:
+        """The retained recent samples, oldest first (a copy).
+
+        Fleet-level aggregation merges the per-tenant sample windows into
+        one distribution before taking service-wide percentiles.
+        """
+        with self._lock:
+            return list(self._samples)
 
     @property
     def p50(self) -> float:
@@ -108,9 +132,10 @@ class LatencyDistribution:
 
     @property
     def mean(self) -> float:
-        if not self._samples:
+        samples = self.samples()
+        if not samples:
             return 0.0
-        return float(np.mean(np.fromiter(self._samples, dtype=np.float64)))
+        return float(np.mean(np.asarray(samples, dtype=np.float64)))
 
 
 class SessionMetrics:

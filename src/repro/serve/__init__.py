@@ -1,0 +1,48 @@
+"""The serving layer: multi-tenant streaming query service.
+
+``repro.serve`` multiplexes many tenant queries over one shared
+:class:`~repro.core.runtime.engine.TiltEngine`:
+
+* :class:`QueryService` — submit / ingest / results / cancel / stats;
+* :mod:`~repro.serve.scheduler` — round-robin and deficit fair-share tick
+  scheduling with latency-deadline escalation;
+* :mod:`~repro.serve.admission` — tenant and queue limits with shed-or-block
+  overload behaviour.
+
+Quickstart::
+
+    from repro.serve import QueryService
+    from repro.apps import get_application
+    from repro.datagen.sources import sources_for_streams
+
+    service = QueryService(workers=4, policy="fair")
+    for i, app in enumerate(["trading", "rsi", "ysb"]):
+        a = get_application(app)
+        service.submit(a.program(), name=f"{app}-{i}",
+                       sources=sources_for_streams(a.streams(5_000, seed=i)))
+    service.run_until_idle()
+    print(service.stats().format())
+"""
+
+from .admission import AdmissionConfig, AdmissionController
+from .scheduler import (
+    DeficitFairPolicy,
+    RoundRobinPolicy,
+    SchedulerPolicy,
+    TickScheduler,
+    make_policy,
+)
+from .service import QueryService, ServiceStats, TenantSession
+
+__all__ = [
+    "QueryService",
+    "ServiceStats",
+    "TenantSession",
+    "SchedulerPolicy",
+    "RoundRobinPolicy",
+    "DeficitFairPolicy",
+    "TickScheduler",
+    "make_policy",
+    "AdmissionConfig",
+    "AdmissionController",
+]

@@ -1,0 +1,187 @@
+"""Tick scheduling for the multi-tenant query service.
+
+The serving layer turns many concurrent tenant queries into a stream of
+*ticks* — one micro-batch advance of one tenant's
+:class:`~repro.core.runtime.session.StreamingSession`.  Ticks from
+independent tenants share no state (TiLT's synchronization-free partition
+parallelism is per-partition *within* a tick), so scheduling reduces to a
+classic single-server discipline: pick which ready tenant advances next.
+
+Two policies are provided:
+
+* :class:`RoundRobinPolicy` — cycle through ready tenants in admission
+  order.  Simple and starvation-free, but a tenant whose ticks are 10×
+  more expensive receives 10× the engine time of its neighbours.
+* :class:`DeficitFairPolicy` — start-time fair queueing on *virtual time*:
+  every time a tenant runs, its virtual time advances by its smoothed
+  per-tick cost (an EWMA of measured tick seconds) divided by its weight;
+  the ready tenant with the smallest virtual time runs next.  Expensive
+  tenants therefore run less often, equalizing weighted engine time, and
+  weights buy proportionally bigger shares.
+
+:class:`TickScheduler` wraps a policy with the **latency-deadline
+escalation** path: a tenant submitted with ``deadline_seconds`` that has
+neither emitted nor been serviced within its deadline bypasses the policy
+and is scheduled immediately (most-overdue first).  This guarantees a
+scheduling attempt within every deadline window — bounding result
+staleness whenever the tenant's watermark can advance — without giving
+the tenant a permanently larger share: servicing it resets the window
+even when no output could be emitted, so a stuck tenant cannot monopolize
+the scheduler.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from ..errors import QueryBuildError
+
+__all__ = [
+    "SchedulerPolicy",
+    "RoundRobinPolicy",
+    "DeficitFairPolicy",
+    "TickScheduler",
+    "make_policy",
+]
+
+
+class SchedulerPolicy:
+    """Strategy interface: order the ready tenants of a service.
+
+    ``select`` receives the ready tenants (never empty) and returns the one
+    to advance; ``record`` reports the measured cost of the tick that
+    followed.  Policies may annotate tenants via their public scheduling
+    fields (``vtime``, ``cost_ewma``, ``weight``, ``index``).
+    """
+
+    name = "policy"
+
+    def admit(self, tenant) -> None:
+        """A tenant joined the service."""
+
+    def remove(self, tenant) -> None:
+        """A tenant finished or was cancelled."""
+
+    def select(self, ready: Sequence):
+        raise NotImplementedError
+
+    def record(self, tenant, seconds: float) -> None:
+        """The selected tenant's tick took ``seconds`` of engine time."""
+
+
+class RoundRobinPolicy(SchedulerPolicy):
+    """Cycle through ready tenants in admission order."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._last_index = -1
+
+    def select(self, ready: Sequence):
+        later = [t for t in ready if t.index > self._last_index]
+        choice = min(later or ready, key=lambda t: t.index)
+        self._last_index = choice.index
+        return choice
+
+
+class DeficitFairPolicy(SchedulerPolicy):
+    """Weighted fair sharing of engine time via cost-EWMA virtual time.
+
+    Each tenant carries a virtual time ``vtime``; running a tick charges it
+    ``cost_ewma / weight`` where ``cost_ewma`` is an exponentially weighted
+    moving average of the tenant's measured tick seconds.  Selecting the
+    minimum-``vtime`` ready tenant equalizes weighted busy time: a tenant
+    whose ticks cost 10× as much is scheduled ~10× less often, instead of
+    receiving 10× the engine time as under round-robin.  Newly admitted
+    tenants start at the current virtual clock so they neither starve the
+    fleet catching up from zero nor wait behind everyone.
+    """
+
+    name = "fair"
+
+    def __init__(self, *, ewma_alpha: float = 0.3) -> None:
+        if not (0.0 < ewma_alpha <= 1.0):
+            raise QueryBuildError("ewma_alpha must be in (0, 1]")
+        self.ewma_alpha = float(ewma_alpha)
+        self._vclock = 0.0
+
+    def admit(self, tenant) -> None:
+        tenant.vtime = self._vclock
+
+    def select(self, ready: Sequence):
+        choice = min(ready, key=lambda t: (t.vtime, t.index))
+        self._vclock = max(self._vclock, choice.vtime)
+        return choice
+
+    def record(self, tenant, seconds: float) -> None:
+        if tenant.cost_ewma is None:
+            tenant.cost_ewma = float(seconds)
+        else:
+            tenant.cost_ewma += self.ewma_alpha * (float(seconds) - tenant.cost_ewma)
+        tenant.vtime += tenant.cost_ewma / tenant.weight
+
+
+class TickScheduler:
+    """A policy plus the deadline-escalation path and dispatch bookkeeping."""
+
+    def __init__(self, policy: SchedulerPolicy):
+        self.policy = policy
+        self.ticks_dispatched = 0
+        self.escalations = 0
+
+    def admit(self, tenant) -> None:
+        self.policy.admit(tenant)
+
+    def remove(self, tenant) -> None:
+        self.policy.remove(tenant)
+
+    @staticmethod
+    def _overdue_by(tenant, now: float) -> float:
+        """How far past its deadline the tenant is (<= 0: not overdue).
+
+        Staleness is measured from the later of the tenant's last emission
+        and its last *service* (a tick that could not emit still counts):
+        escalation guarantees an attempt within every deadline window, but a
+        tenant whose watermark cannot advance yet does not get re-escalated
+        on every single select — which would starve the rest of the fleet.
+        """
+        served = max(tenant.last_emit_wall, tenant.last_service_wall)
+        return now - served - tenant.deadline_seconds
+
+    def select(self, ready: Sequence, now: Optional[float] = None):
+        """Pick the next tenant: overdue deadlines first, then the policy."""
+        if now is None:
+            now = time.monotonic()
+        overdue: List = [
+            t
+            for t in ready
+            if t.deadline_seconds is not None and self._overdue_by(t, now) >= 0
+        ]
+        if overdue:
+            self.escalations += 1
+            choice = max(overdue, key=lambda t: (self._overdue_by(t, now), -t.index))
+        else:
+            choice = self.policy.select(ready)
+        self.ticks_dispatched += 1
+        return choice
+
+    def record(self, tenant, seconds: float) -> None:
+        self.policy.record(tenant, seconds)
+
+
+#: the built-in policies, by the name accepted by ``QueryService(policy=...)``
+POLICIES = {
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    DeficitFairPolicy.name: DeficitFairPolicy,
+}
+
+
+def make_policy(name: str) -> SchedulerPolicy:
+    """Instantiate a built-in policy by name (``round_robin`` or ``fair``)."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise QueryBuildError(
+            f"unknown scheduler policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from None

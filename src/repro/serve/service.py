@@ -1,0 +1,710 @@
+"""`QueryService`: many tenant queries multiplexed over one `TiltEngine`.
+
+The continuous runtime of :mod:`repro.core.runtime.session` advances *one*
+query from a caller-owned loop.  A production service instead hosts many
+concurrent queries on shared hardware — the setting TiLT's
+synchronization-free partition parallelism was built for: ticks of
+independent tenants are embarrassingly parallel work items for one shared
+worker pool, and the per-program compile cache makes admission of the
+N-th session over a popular query free.
+
+The moving parts:
+
+* :class:`TenantSession` — one submitted query: its
+  :class:`~repro.core.runtime.session.StreamingSession`, its input queues
+  (push mode) or pull sources, its scheduling state and its uncollected
+  output deltas;
+* a :class:`~repro.serve.scheduler.TickScheduler` — decides which ready
+  tenant advances next (round-robin or deficit fair-share, with
+  latency-deadline escalation);
+* an :class:`~repro.serve.admission.AdmissionController` — bounds tenant
+  count and per-tenant queued events, shedding or blocking on overload;
+* fleet metrics — per-tenant :class:`SessionMetrics` aggregated into a
+  :class:`~repro.metrics.fleet.FleetSnapshot` (total ev/s, merged latency
+  percentiles, queue depths, scheduler fairness index).
+
+Because every tenant runs a real ``StreamingSession``, the service inherits
+its correctness contract unchanged: each tenant's concatenated output is
+byte-identical to running that query alone — under *any* scheduler policy
+and any interleaving (asserted in ``tests/test_service.py``).
+
+Threading model: producers may call ``submit`` / ``ingest`` / ``cancel`` /
+``results`` / ``stats`` from any thread; ticks are executed by whoever
+calls :meth:`QueryService.step` (or the background thread started with
+:meth:`QueryService.start`) — one scheduling thread at a time.  Blocking
+ingest (overload policy ``"block"``) never holds the service lock, so
+backpressured producers cannot deadlock the scheduler.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from ..core.runtime.engine import QueryResult, TiltEngine
+from ..core.runtime.session import StreamingSession, TickResult
+from ..core.runtime.stream import Event
+from ..datagen.sources import QueuedSource
+from ..errors import ExecutionError, QueryBuildError
+from ..metrics.fleet import FleetSnapshot, aggregate_fleet
+from ..metrics.streaming import LatencyDistribution
+from .admission import AdmissionConfig, AdmissionController
+from .scheduler import SchedulerPolicy, TickScheduler, make_policy
+
+__all__ = ["TenantSession", "ServiceStats", "QueryService"]
+
+#: tenant lifecycle states
+ACTIVE = "active"
+FINISHED = "finished"
+CANCELLED = "cancelled"
+FAILED = "failed"
+
+
+class TenantSession:
+    """One tenant of a :class:`QueryService`.
+
+    Created by :meth:`QueryService.submit`; not instantiated directly.
+    Carries the tenant's streaming session plus everything the service
+    layers on top: push-mode input queues, scheduling state (admission
+    ``index``, fair-share ``weight`` / ``vtime`` / ``cost_ewma``, optional
+    staleness ``deadline_seconds``), pending output deltas, and wall-clock
+    emit-gap tracking (the scheduling latency a tenant actually observes,
+    as opposed to the compute latency of its ticks).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        index: int,
+        session: StreamingSession,
+        *,
+        weight: float,
+        deadline_seconds: Optional[float],
+        sources: List[object],
+        push_sources: Dict[str, QueuedSource],
+        now: float,
+    ):
+        self.name = name
+        self.index = index
+        self.session = session
+        self.weight = float(weight)
+        self.deadline_seconds = deadline_seconds
+        self.sources = sources
+        self.push_sources = push_sources
+        self.state = ACTIVE
+        self.error: Optional[BaseException] = None
+        #: scheduling state, maintained by the policy
+        self.vtime = 0.0
+        self.cost_ewma: Optional[float] = None
+        self.ticks_scheduled = 0
+        self.shed_events = 0
+        self.admitted_wall = now
+        self.last_emit_wall = now
+        #: wall time this tenant last received a tick (emitting or not);
+        #: deadline escalation measures from max(last emit, last service)
+        self.last_service_wall = now
+        #: wall-clock gap between consecutive emitted ticks — the staleness
+        #: a tenant observes under contention (what fair-share improves)
+        self.emit_gaps = LatencyDistribution(capacity=512)
+        self._pending: List[TickResult] = []
+        #: False once a tick made no progress and no new input has arrived
+        #: since — the scheduler skips the tenant until it is poked.  The
+        #: sequence number detects input arriving *during* a tick, so a
+        #: concurrent mark cannot be overwritten by the tick's own idle
+        #: verdict (lost-wakeup protection).
+        self._dirty = True
+        self._dirty_seq = 0
+
+    # -- scheduling interface ------------------------------------------- #
+    @property
+    def ready(self) -> bool:
+        """Whether a tick (or the closing flush) would make progress."""
+        if self.state != ACTIVE:
+            return False
+        if self.session.exhausted:
+            return True  # only the closing flush remains
+        if self._dirty:
+            return True
+        return self.queue_depth > 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Events queued for this tenant and not yet ingested.
+
+        Covers any source exposing a ``depth`` (the service-created push
+        queues, but also a ``QueuedSource`` passed in as a pull source), so
+        externally fed queues keep the tenant ready.
+        """
+        return sum(getattr(src, "depth", 0) for src in self.sources)
+
+    @property
+    def is_push(self) -> bool:
+        return bool(self.push_sources)
+
+    def mark_dirty(self) -> None:
+        self._dirty = True
+        self._dirty_seq += 1
+
+    def close_inputs(self) -> None:
+        """Close this tenant's push queues, waking any blocked producer.
+
+        Called whenever the tenant leaves the ready set for good (cancel,
+        failure, service shutdown): a producer blocked in a backpressured
+        ``ingest`` would otherwise wait forever on a queue nobody will
+        drain — instead it gets ``QueueClosedError``.
+        """
+        for src in self.push_sources.values():
+            src.close()
+
+    # -- introspection --------------------------------------------------- #
+    def describe(self) -> Dict[str, float]:
+        """JSON-friendly per-tenant stats row."""
+        m = self.session.metrics
+        return {
+            "state": self.state,
+            "weight": self.weight,
+            "ticks_scheduled": float(self.ticks_scheduled),
+            "input_events": float(m.input_events),
+            "events_per_second": m.throughput,
+            "tick_latency_p50": m.latency.p50,
+            "tick_latency_p99": m.latency.p99,
+            "emit_gap_p50": self.emit_gaps.p50,
+            "emit_gap_p99": self.emit_gaps.p99,
+            "queue_depth": float(self.queue_depth),
+            "shed_events": float(self.shed_events),
+            "cost_ewma": float(self.cost_ewma or 0.0),
+            "watermark": self.session.watermark,
+            "error": repr(self.error) if self.error is not None else "",
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TenantSession({self.name!r}, {self.state})"
+
+
+@dataclass
+class ServiceStats:
+    """Point-in-time snapshot of a service: scheduler + admission + fleet."""
+
+    policy: str
+    ticks_dispatched: int
+    escalations: int
+    submitted: int
+    rejected_tenants: int
+    fleet: FleetSnapshot
+    tenants: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, object]:
+        """Flat JSON-friendly rendering (fleet keys inlined)."""
+        out: Dict[str, object] = {
+            "policy": self.policy,
+            "ticks_dispatched": self.ticks_dispatched,
+            "escalations": self.escalations,
+            "submitted": self.submitted,
+            "rejected_tenants": self.rejected_tenants,
+        }
+        out.update(self.fleet.summary())
+        return out
+
+    def format(self) -> str:
+        """One-line human-readable rendering for live logs."""
+        return (
+            f"[{self.policy}] {self.ticks_dispatched} ticks "
+            f"({self.escalations} escalated) | " + self.fleet.format()
+        )
+
+
+class QueryService:
+    """Host many tenant queries on one shared :class:`TiltEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The engine to serve on.  When omitted, the service creates (and on
+        ``close`` disposes of) its own ``TiltEngine(workers=workers)``.
+    workers:
+        Worker count for the internally created engine (ignored when
+        ``engine`` is given).
+    policy:
+        Scheduler policy: ``"fair"`` (default), ``"round_robin"``, or a
+        :class:`~repro.serve.scheduler.SchedulerPolicy` instance.
+    max_tenants / max_pending_events / overload / block_timeout:
+        Admission control, see :class:`~repro.serve.admission.AdmissionConfig`.
+    default_deadline:
+        Staleness deadline (seconds) applied to tenants submitted without
+        an explicit one; ``None`` disables escalation by default.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[TiltEngine] = None,
+        *,
+        workers: int = 4,
+        policy: Union[str, SchedulerPolicy] = "fair",
+        max_tenants: int = 64,
+        max_pending_events: int = 65_536,
+        overload: str = "shed",
+        block_timeout: Optional[float] = None,
+        default_deadline: Optional[float] = None,
+        clock=time.monotonic,
+    ):
+        self._engine = engine if engine is not None else TiltEngine(workers=workers)
+        self._owns_engine = engine is None
+        if isinstance(policy, str):
+            policy = make_policy(policy)
+        self._scheduler = TickScheduler(policy)
+        self._admission = AdmissionController(
+            AdmissionConfig(
+                max_tenants=max_tenants,
+                max_pending_events=max_pending_events,
+                overload=overload,
+                block_timeout=block_timeout,
+            )
+        )
+        self._default_deadline = default_deadline
+        self._clock = clock
+        self._tenants: Dict[str, TenantSession] = {}
+        self._reserved: set = set()  # names admitted but still compiling
+        self._counter = 0
+        self._submitted = 0
+        self._closed = False
+        self._lock = threading.RLock()
+        self._wake = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # tenant lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self) -> TiltEngine:
+        return self._engine
+
+    @property
+    def policy_name(self) -> str:
+        return self._scheduler.policy.name
+
+    def tenants(self) -> List[str]:
+        """Names of all known tenants (any state), in admission order."""
+        with self._lock:
+            return list(self._tenants)
+
+    def active_tenants(self) -> List[str]:
+        with self._lock:
+            return [n for n, t in self._tenants.items() if t.state == ACTIVE]
+
+    def submit(
+        self,
+        query,
+        *,
+        name: Optional[str] = None,
+        sources: Optional[Sequence[object]] = None,
+        weight: float = 1.0,
+        deadline: Optional[float] = None,
+        retain_output: bool = True,
+        max_events_per_tick: Optional[int] = None,
+    ) -> str:
+        """Admit a tenant query; returns its tenant name.
+
+        ``query`` is a :class:`TiltProgram`, a pre-compiled
+        :class:`CompiledQuery`, or a frontend query DAG (anything with
+        ``to_program``) — compilation goes through the engine's shared
+        cache, so re-submitting a popular program object is free.
+
+        With ``sources`` the tenant is *pull-fed* (the scheduler polls the
+        given :class:`EventSource` objects, e.g. replay or generator
+        sources).  Without, the tenant is *push-fed*: the service creates
+        one bounded ingest queue per top-level input stream and events
+        arrive via :meth:`ingest`.
+
+        ``weight`` buys a proportionally larger share under the fair-share
+        policy; ``deadline`` (seconds of wall-clock output staleness)
+        escalates the tenant past the policy when overdue.
+        """
+        if hasattr(query, "to_program"):
+            query = query.to_program()
+        if weight <= 0:
+            raise QueryBuildError("tenant weight must be > 0")
+        with self._lock:
+            if self._closed:
+                raise ExecutionError("service is closed")
+            # reserved names count as live so concurrent submits cannot
+            # overshoot the tenant limit while one of them is compiling
+            self._admission.admit_tenant(
+                len(self.active_tenants()) + len(self._reserved)
+            )
+            self._counter += 1
+            index = self._counter
+            tenant_name = name if name is not None else f"tenant-{index}"
+            if tenant_name in self._tenants or tenant_name in self._reserved:
+                raise QueryBuildError(f"tenant {tenant_name!r} already exists")
+            self._reserved.add(tenant_name)
+        try:
+            push_sources: Dict[str, QueuedSource] = {}
+            if sources is None:
+                program = query.program if hasattr(query, "program") else query
+                top_level = []
+                for input_name in program.inputs:
+                    stream = input_name.split(".", 1)[0]
+                    if stream not in top_level:
+                        top_level.append(stream)
+                push_sources = {
+                    stream: QueuedSource(
+                        stream, capacity=self._admission.config.max_pending_events
+                    )
+                    for stream in top_level
+                }
+                sources = list(push_sources.values())
+            # compilation (through the engine's own lock and cache) happens
+            # outside the service lock: a slow compile must not stall
+            # scheduling, ingest or stats for the rest of the fleet
+            session = self._engine.open_session(
+                query,
+                list(sources),
+                retain_output=retain_output,
+                max_events_per_tick=max_events_per_tick,
+            )
+        except BaseException:
+            with self._lock:
+                self._reserved.discard(tenant_name)
+            raise
+        with self._lock:
+            self._reserved.discard(tenant_name)
+            if self._closed:
+                session.abort()
+                raise ExecutionError("service is closed")
+            tenant = TenantSession(
+                tenant_name,
+                index,
+                session,
+                weight=weight,
+                deadline_seconds=deadline if deadline is not None else self._default_deadline,
+                sources=list(sources),
+                push_sources=push_sources,
+                now=self._clock(),
+            )
+            self._tenants[tenant_name] = tenant
+            self._scheduler.admit(tenant)
+            self._submitted += 1
+        self._wake.set()
+        return tenant_name
+
+    def _tenant(self, name: str) -> TenantSession:
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise QueryBuildError(f"unknown tenant {name!r}") from None
+
+    # ------------------------------------------------------------------ #
+    # push-side ingest
+    # ------------------------------------------------------------------ #
+    def _push_source(self, name: str, stream: Optional[str]) -> QueuedSource:
+        with self._lock:
+            tenant = self._tenant(name)
+            if not tenant.is_push:
+                raise QueryBuildError(
+                    f"tenant {name!r} is pull-fed; the service polls its sources"
+                )
+            if stream is None:
+                if len(tenant.push_sources) != 1:
+                    raise QueryBuildError(
+                        f"tenant {name!r} has inputs {sorted(tenant.push_sources)}; "
+                        "pass stream=<name>"
+                    )
+                return next(iter(tenant.push_sources.values()))
+            try:
+                return tenant.push_sources[stream]
+            except KeyError:
+                raise QueryBuildError(
+                    f"tenant {name!r} has no input stream {stream!r} "
+                    f"(inputs: {sorted(tenant.push_sources)})"
+                ) from None
+
+    def ingest(
+        self,
+        name: str,
+        events: Sequence[Event],
+        *,
+        stream: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> int:
+        """Push events to a push-fed tenant; returns the number accepted.
+
+        Overload behaviour follows the service's admission policy: under
+        ``"shed"`` the overflow is dropped and counted; under ``"block"``
+        this call blocks (without holding any service lock) until the
+        scheduler drains the tenant's queue or the timeout expires.
+        """
+        events = list(events)
+        source = self._push_source(name, stream)
+        # blocking push must happen outside the lock: the scheduler needs
+        # the lock to select the tick that will drain this very queue
+        accepted, shed = self._admission.offer(source, events, timeout=timeout)
+        with self._lock:
+            tenant = self._tenant(name)
+            tenant.shed_events += shed
+            if accepted:
+                tenant.mark_dirty()
+        if accepted:
+            self._wake.set()
+        return accepted
+
+    def advance_input(self, name: str, t: float, *, stream: Optional[str] = None) -> None:
+        """Advance a push-fed input's completeness watermark past a lull
+        (promise that no future event will start before ``t``)."""
+        source = self._push_source(name, stream)
+        source.advance_to(t)
+        with self._lock:
+            self._tenant(name).mark_dirty()
+        self._wake.set()
+
+    def close_input(self, name: str, *, stream: Optional[str] = None) -> None:
+        """Declare a push-fed tenant's input(s) complete.
+
+        Once every input is closed and drained the scheduler runs the
+        tenant's final flush and marks it finished.  With ``stream=None``
+        all of the tenant's inputs are closed.
+        """
+        with self._lock:
+            tenant = self._tenant(name)
+            if not tenant.is_push:
+                raise QueryBuildError(f"tenant {name!r} is pull-fed")
+            targets = (
+                list(tenant.push_sources.values())
+                if stream is None
+                else [self._push_source(name, stream)]
+            )
+        for source in targets:
+            source.close()
+        with self._lock:
+            tenant.mark_dirty()
+        self._wake.set()
+
+    def poke(self, name: str) -> None:
+        """Mark an idled tenant ready again.
+
+        A tenant whose tick made no progress is parked until new input is
+        observable (service-side ingest, or a queue-backed source gaining
+        depth).  A *custom* pull source with no ``depth`` signal cannot be
+        observed — its producer calls ``poke`` after making data available.
+        """
+        with self._lock:
+            self._tenant(name).mark_dirty()
+        self._wake.set()
+
+    # ------------------------------------------------------------------ #
+    # scheduling loop
+    # ------------------------------------------------------------------ #
+    def step(self) -> Optional[TickResult]:
+        """Run one scheduling decision: pick a ready tenant, advance it.
+
+        Returns the tick's :class:`TickResult`, or ``None`` when no tenant
+        is ready (the service is idle).  Call from a single scheduling
+        thread — or use :meth:`start` for a managed background one.
+        """
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise ExecutionError("service is closed")
+                ready = [t for t in self._tenants.values() if t.ready]
+                if not ready:
+                    return None
+                tenant = self._scheduler.select(ready, self._clock())
+                dirty_seq = tenant._dirty_seq
+            result = self._advance(tenant, dirty_seq)
+            if result is not None:
+                return result
+            # the selected tenant failed (or was cancelled mid-flight) and
+            # left the ready set — idle only means *no one* is ready
+
+    def _advance(self, tenant: TenantSession, dirty_seq: int) -> Optional[TickResult]:
+        session = tenant.session
+        try:
+            if session.exhausted:
+                result = session.close(drain=True)
+                finished = True
+            else:
+                result = session.tick()
+                finished = False
+        except Exception as exc:  # noqa: BLE001 - tenant isolation boundary
+            with self._lock:
+                if tenant.state == CANCELLED:
+                    return None  # cancelled between select and tick
+                # tenant isolation: one tenant's failing query (bad data,
+                # out-of-order push, a broken custom source) must not take
+                # down the scheduling loop or starve the other tenants —
+                # mark it failed, keep its emitted output collectable,
+                # release its producers, move on
+                tenant.error = exc
+                tenant.state = FAILED
+                tenant.session.abort()
+                tenant.close_inputs()
+                self._scheduler.remove(tenant)
+            return None
+        now = self._clock()
+        with self._lock:
+            tenant.ticks_scheduled += 1
+            tenant.last_service_wall = now
+            self._scheduler.record(tenant, result.elapsed_seconds)
+            if finished:
+                tenant.state = FINISHED
+                self._scheduler.remove(tenant)
+            elif not result.events_ingested and not result.emitted:
+                if session.exhausted:
+                    tenant.mark_dirty()  # flush on the next turn
+                elif tenant._dirty_seq == dirty_seq:
+                    # idle until new input arrives; skipped when input was
+                    # marked mid-tick (the verdict would be stale)
+                    tenant._dirty = False
+            if result.emitted:
+                tenant.emit_gaps.record(now - tenant.last_emit_wall)
+                tenant.last_emit_wall = now
+                tenant._pending.append(result)
+        return result
+
+    def run_until_idle(self, max_ticks: Optional[int] = None) -> int:
+        """Step until no tenant is ready; returns the number of ticks run.
+
+        A tenant over an unbounded pull source is always ready — bound the
+        loop with ``max_ticks`` (or :meth:`cancel` the tenant) in that case.
+        """
+        ticks = 0
+        while max_ticks is None or ticks < max_ticks:
+            if self.step() is None:
+                break
+            ticks += 1
+        return ticks
+
+    def start(self, *, idle_wait: float = 0.005) -> None:
+        """Run the scheduling loop on a background thread until ``stop``."""
+        with self._lock:
+            if self._closed:
+                raise ExecutionError("service is closed")
+            if self._thread is not None:
+                raise ExecutionError("service is already running")
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._serve_loop, args=(idle_wait,), daemon=True
+            )
+            self._thread.start()
+
+    def _serve_loop(self, idle_wait: float) -> None:
+        while not self._stop.is_set():
+            if self.step() is None:
+                self._wake.wait(idle_wait)
+                self._wake.clear()
+
+    def stop(self) -> None:
+        """Halt the background scheduling loop (tenants stay live)."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        self._wake.set()
+        thread.join()
+        self._thread = None
+
+    # ------------------------------------------------------------------ #
+    # results and cancellation
+    # ------------------------------------------------------------------ #
+    def results(self, name: str) -> List[TickResult]:
+        """Drain the tenant's emitted-but-uncollected output deltas."""
+        with self._lock:
+            tenant = self._tenant(name)
+            pending, tenant._pending = tenant._pending, []
+            return pending
+
+    def result(self, name: str) -> QueryResult:
+        """The tenant's cumulative output so far (needs ``retain_output``)."""
+        with self._lock:
+            tenant = self._tenant(name)
+        return tenant.session.result()
+
+    def cancel(self, name: str) -> bool:
+        """Abort a tenant: no further ticks, no final flush.
+
+        Already-emitted deltas remain collectable via :meth:`results` /
+        :meth:`result`.  Returns False when the tenant had already finished
+        or was already cancelled.
+        """
+        with self._lock:
+            tenant = self._tenant(name)
+            if tenant.state != ACTIVE:
+                return False
+            tenant.session.abort()
+            tenant.state = CANCELLED
+            tenant.close_inputs()  # wake any producer blocked in ingest
+            self._scheduler.remove(tenant)
+        self._wake.set()
+        return True
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def stats(self) -> ServiceStats:
+        """Fleet snapshot: scheduler, admission, and aggregated metrics."""
+        with self._lock:
+            tenants = list(self._tenants.items())
+            active = [n for n, t in tenants if t.state == ACTIVE]
+            policy = self._scheduler.policy.name
+            ticks_dispatched = self._scheduler.ticks_dispatched
+            escalations = self._scheduler.escalations
+            submitted = self._submitted
+            rejected = self._admission.rejected_tenants
+        # the heavy part — copying and merging every tenant's latency
+        # sample window — runs outside the service lock (the per-metric
+        # locks make the reads safe), so monitoring never stalls the
+        # scheduling loop
+        fleet = aggregate_fleet(
+            {n: t.session.metrics for n, t in tenants},
+            active=active,
+            weights={n: t.weight for n, t in tenants},
+            queue_depths={n: t.queue_depth for n, t in tenants},
+            shed_events={n: t.shed_events for n, t in tenants},
+        )
+        return ServiceStats(
+            policy=policy,
+            ticks_dispatched=ticks_dispatched,
+            escalations=escalations,
+            submitted=submitted,
+            rejected_tenants=rejected,
+            fleet=fleet,
+            tenants={n: t.describe() for n, t in tenants},
+        )
+
+    # ------------------------------------------------------------------ #
+    # teardown
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop scheduling, abort live tenants, release an owned engine.
+
+        An engine passed in by the caller is left open (they own it);
+        an internally created one is closed.
+        """
+        self.stop()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for tenant in self._tenants.values():
+                if tenant.state == ACTIVE:
+                    tenant.session.abort()
+                    tenant.state = CANCELLED
+                    tenant.close_inputs()
+                    self._scheduler.remove(tenant)
+        if self._owns_engine:
+            self._engine.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            n = len(self._tenants)
+            active = len([t for t in self._tenants.values() if t.state == ACTIVE])
+        state = "closed" if self._closed else f"{active}/{n} tenants active"
+        return f"QueryService(policy={self.policy_name!r}, {state})"

@@ -1,0 +1,140 @@
+"""Concurrency tests: many threads sharing one engine.
+
+The multi-tenant service opens, advances and closes sessions from multiple
+threads against a single :class:`TiltEngine`, so the engine's shared state
+— the compile cache, the lazily created worker pool, and the open-session
+registry — must be race-free, and a full ingest queue must never deadlock
+its producer.
+"""
+
+import threading
+
+import pytest
+
+from repro.apps import get_application
+from repro.core.runtime.engine import TiltEngine
+from repro.datagen.sources import sources_for_streams
+from repro.errors import ExecutionError
+
+N_THREADS = 6
+
+
+class TestConcurrentSessions:
+    def test_threaded_session_lifecycles_match_batch(self):
+        """N threads each open/ingest/advance/close a session on one engine;
+        every thread's output must equal the batch run over its dataset."""
+        app = get_application("trading")
+        program = app.program()
+        engine = TiltEngine(workers=2)
+        datasets = [app.streams(400, seed=i) for i in range(N_THREADS)]
+        outputs = [None] * N_THREADS
+        errors = []
+        barrier = threading.Barrier(N_THREADS)
+
+        def worker(i):
+            try:
+                barrier.wait()  # maximize open_session contention
+                sources = sources_for_streams(datasets[i], events_per_poll=97)
+                session = engine.open_session(program, sources)
+                while not session.exhausted:
+                    session.tick()
+                session.close()
+                outputs[i] = session.result().output
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append((i, exc))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors, errors
+        engine.close()
+        reference = TiltEngine(workers=1)
+        for i in range(N_THREADS):
+            assert outputs[i] == reference.run(program, datasets[i]).output
+        reference.close()
+
+    def test_compile_cached_races_to_one_compilation(self):
+        """Concurrent compile_cached calls over the same program must all
+        return the identical CompiledQuery object."""
+        engine = TiltEngine(workers=1)
+        program = get_application("trading").program()
+        results = [None] * N_THREADS
+        barrier = threading.Barrier(N_THREADS)
+
+        def worker(i):
+            barrier.wait()
+            results[i] = engine.compile_cached(program)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert all(r is results[0] for r in results)
+        assert results[0] is not None
+
+    def test_shared_executor_races_to_one_pool(self):
+        engine = TiltEngine(workers=3)
+        results = [None] * N_THREADS
+        barrier = threading.Barrier(N_THREADS)
+
+        def worker(i):
+            barrier.wait()
+            results[i] = engine.shared_executor()
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert all(r is results[0] for r in results)
+        engine.close()
+
+
+class TestEngineCloseWithOpenSessions:
+    def test_close_aborts_open_sessions(self):
+        """Engine teardown must not leave sessions dangling on a shut-down
+        pool: still-open sessions are aborted (closed, no flush)."""
+        app = get_application("trading")
+        engine = TiltEngine(workers=2)
+        streams = app.streams(500, seed=3)
+        s1 = engine.open_session(
+            app.program(), sources_for_streams(streams, events_per_poll=100)
+        )
+        s2 = engine.open_session(
+            app.program(), sources_for_streams(streams, events_per_poll=200)
+        )
+        s1.tick()
+        assert set(engine.open_sessions()) == {s1, s2}
+        engine.close()
+        assert s1.closed and s2.closed
+        assert engine.open_sessions() == []
+        with pytest.raises(ExecutionError):
+            s1.tick()
+        with pytest.raises(ExecutionError):
+            s2.close()
+
+    def test_closed_sessions_drop_out_of_registry(self):
+        app = get_application("trading")
+        engine = TiltEngine(workers=1)
+        streams = app.streams(300, seed=4)
+        session = engine.open_session(
+            app.program(), sources_for_streams(streams, events_per_poll=100)
+        )
+        session.run_to_exhaustion()
+        assert engine.open_sessions() == []
+        engine.close()
+
+    def test_abort_is_idempotent_and_quiet(self):
+        app = get_application("trading")
+        engine = TiltEngine(workers=1)
+        streams = app.streams(300, seed=5)
+        session = engine.open_session(
+            app.program(), sources_for_streams(streams, events_per_poll=100)
+        )
+        session.abort()
+        session.abort()
+        assert session.closed
+        engine.close()

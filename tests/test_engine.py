@@ -41,6 +41,20 @@ class TestPlanPartitions:
             assert hi % 10.0 == 0.0
         assert bounds[-1][1] == 100.0
 
+    def test_alignment_never_snaps_below_range_start(self):
+        """Regression: with partitions narrower than the alignment grid and
+        an off-grid t_start, interior edges must clamp to t_start instead of
+        flooring below it (which produced a partition starting before — and
+        overlapping — the requested output range)."""
+        bounds = plan_partitions(12.7, 3900.0, num_partitions=16, align=300.0)
+        assert bounds[0][0] == 12.7
+        for lo, hi in bounds:
+            assert 12.7 <= lo < hi <= 3900.0
+        # consecutive and covering
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo
+        assert bounds[-1][1] == 3900.0
+
     def test_empty_and_invalid(self):
         assert plan_partitions(5.0, 5.0, num_partitions=3) == []
         with pytest.raises(QueryBuildError):

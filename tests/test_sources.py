@@ -16,7 +16,7 @@ from repro.datagen.sources import (
     ThrottledSource,
     sources_for_streams,
 )
-from repro.errors import QueryBuildError
+from repro.errors import QueryBuildError, QueueClosedError
 
 INF = float("inf")
 
@@ -149,10 +149,46 @@ class TestBoundedIngestQueue:
         assert q.put(events[n:], timeout=0.05) == 4
 
     def test_close_rejects_producers(self):
+        """``put`` into a closed queue raises cleanly (no silent drop)."""
         q = BoundedIngestQueue(capacity=2)
         q.close()
-        assert not q.put(sample_stream(1).events)
+        with pytest.raises(QueueClosedError) as exc_info:
+            q.put(sample_stream(1).events)
+        assert exc_info.value.enqueued == 0
         assert q.closed
+
+    def test_close_releases_blocked_producer(self):
+        """A producer blocked on a full queue must be woken by ``close`` and
+        raise (no deadlock); the accepted prefix stays deliverable."""
+        q = BoundedIngestQueue(capacity=3)
+        outcome = {}
+
+        def producer():
+            try:
+                q.put(sample_stream(8).events)  # 8 into 3 slots: blocks
+            except QueueClosedError as exc:
+                outcome["enqueued"] = exc.enqueued
+
+        t = threading.Thread(target=producer, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert len(q) == 3 and "enqueued" not in outcome
+        q.close()
+        t.join(timeout=2.0)
+        assert not t.is_alive()
+        assert outcome["enqueued"] == 3
+        # the accepted prefix is still drainable by the consumer
+        assert [e.start for e in q.drain()] == [0.0, 1.0, 2.0]
+
+    def test_push_after_close_raises(self):
+        src = QueuedSource("s", capacity=4)
+        src.push(sample_stream(2).events)
+        src.close()
+        with pytest.raises(QueueClosedError):
+            src.push([Event(5.0, 6.0, 1.0)])
+        # the pre-close events are still delivered
+        assert [e.start for e in src.poll()] == [0.0, 1.0]
+        assert src.exhausted
 
 
 class TestQueuedSource:
@@ -176,6 +212,42 @@ class TestQueuedSource:
         src.push([Event(5.0, 6.0, 1.0)])
         with pytest.raises(QueryBuildError):
             src.push([Event(1.0, 2.0, 1.0)])
+
+    def test_concurrent_producers_never_corrupt_order(self):
+        """push serializes validate+put: racing producers either land in
+        order or fail cleanly — the queue never holds out-of-order events."""
+        src = QueuedSource("s", capacity=1024)
+        b1 = [Event(float(i), float(i) + 1, 1.0) for i in range(0, 50)]
+        b2 = [Event(float(i), float(i) + 1, 2.0) for i in range(50, 100)]
+        errors = []
+
+        def pusher(batch):
+            try:
+                src.push(batch)
+            except QueryBuildError as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=pusher, args=(b,)) for b in (b1, b2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        drained = src.poll()
+        starts = [e.start for e in drained]
+        assert starts == sorted(starts)
+        # either both batches landed in order, or the late-loser failed clean
+        assert len(drained) + 50 * len(errors) == 100
+
+    def test_throttled_source_forwards_depth(self):
+        inner = QueuedSource("s", capacity=64)
+        throttled = ThrottledSource(inner, 4)
+        assert throttled.depth == 0
+        inner.push(sample_stream(6).events)
+        assert throttled.depth == 6
+        assert len(throttled.poll()) == 4
+        assert throttled.depth == 2
+        # sources without a queue report zero rather than failing
+        assert ThrottledSource(StreamReplaySource(sample_stream(3)), 2).depth == 0
 
     def test_partial_push_is_retryable(self):
         """A timed-out push must leave order/watermark state matching the
