@@ -6,14 +6,18 @@ whatever cores the host offers; the series to compare are the same as in the
 paper:
 
 * TiLT — synchronization-free partition parallelism; best absolute
-  throughput and the best scaling;
+  throughput and the best scaling.  Swept over all three execution
+  backends — ``serial`` (partitioned but single-threaded baseline),
+  ``thread`` (GIL-bound pool; NumPy kernels release the GIL for array
+  work) and ``process`` (worker processes, no GIL ceiling at all);
 * LightSaber — pane-parallel aggregation, scales but below TiLT;
 * Grizzly — shared locked aggregation state limits its scaling;
 * StreamBox — data-parallel stateless stages only;
 * Trill — no intra-partition parallelism at all (flat line).
 
 Run with ``pytest benchmarks/bench_fig8_scalability.py --benchmark-only -s``
-and read one series per engine, one point per worker count.
+and read one series per engine/backend, one point per worker count.  Pass
+``--bench-json PATH`` to capture the sweep for the perf-trajectory file.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from benchutil import record_throughput, tilt_native_inputs
 
 NUM_EVENTS = 60_000
 WORKER_SWEEP = [1, 2, 4, 8]
+TILT_BACKENDS = ["serial", "thread", "process"]
 
 
 @pytest.fixture(scope="module")
@@ -46,12 +51,24 @@ def _events(streams):
 
 @pytest.mark.parametrize("workers", WORKER_SWEEP)
 class TestScalability:
-    def test_tilt(self, benchmark, ysb_streams, workers):
-        engine = TiltEngine(workers=workers)
-        compiled = engine.compile(YSB.program())
-        inputs = tilt_native_inputs(ysb_streams)
-        benchmark.pedantic(lambda: engine.run(compiled, inputs), rounds=3, iterations=1)
-        record_throughput(benchmark, f"Fig8/ysb tilt workers={workers}", _events(ysb_streams))
+    @pytest.mark.parametrize("backend", TILT_BACKENDS)
+    def test_tilt(self, benchmark, ysb_streams, workers, backend):
+        engine = TiltEngine(workers=workers, executor_kind=backend)
+        try:
+            compiled = engine.compile(YSB.program())
+            inputs = tilt_native_inputs(ysb_streams)
+            # warm up the worker pool outside the timed region: process
+            # workers fork and rebuild the kernels once, exactly as a
+            # long-lived engine amortizes them in production
+            engine.run(compiled, inputs)
+            benchmark.pedantic(lambda: engine.run(compiled, inputs), rounds=3, iterations=1)
+            record_throughput(
+                benchmark,
+                f"Fig8/ysb tilt-{backend} workers={workers}",
+                _events(ysb_streams),
+            )
+        finally:
+            engine.close()
 
     def test_lightsaber(self, benchmark, ysb_streams, ysb_query, workers):
         engine = LightSaberEngine(workers=workers)

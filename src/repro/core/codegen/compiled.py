@@ -11,8 +11,12 @@ Figure 3d, which the parallel runtime then invokes once per partition.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ...errors import CompilationError, ExecutionError
 from ..ir.analysis import topological_order
@@ -26,9 +30,34 @@ from .runtime_support import KernelRuntime
 
 __all__ = ["CompiledKernel", "CompiledQuery", "compile_program"]
 
+#: per-process kernel rebuild cache, keyed by spec content digest.  When a
+#: pickled kernel arrives in a worker process (or is unpickled repeatedly in
+#: one), the generated source is compiled once and the instantiated kernel
+#: reused — rebuilding is the per-process analogue of the engine's compile
+#: cache, and like it the cache is LRU-bounded so a long-lived worker
+#: serving an unbounded stream of distinct queries releases old kernels
+#: (owners of a live CompiledQuery keep their kernels referenced anyway).
+_KERNEL_REBUILD_CACHE: "OrderedDict[str, CompiledKernel]" = OrderedDict()
+_KERNEL_REBUILD_LOCK = threading.Lock()
+_KERNEL_REBUILD_LIMIT = 128
+
+
+def _rebuild_kernel(spec: KernelSpec) -> "CompiledKernel":
+    """Unpickle hook for :class:`CompiledKernel` (module-level so it pickles
+    by reference)."""
+    return CompiledKernel.from_spec(spec)
+
 
 class CompiledKernel:
-    """One executable kernel: generated source + its runtime support object."""
+    """One executable kernel: generated source + its runtime support object.
+
+    The class separates *what a kernel is* (the :class:`KernelSpec`: sources,
+    aggregate descriptors, access pattern — picklable whenever its aggregates
+    are) from *a kernel instantiated in this process* (the exec'd function
+    and its :class:`KernelRuntime`, which never cross a process boundary).
+    Pickling therefore ships only the spec; unpickling re-instantiates
+    through the per-process rebuild cache.
+    """
 
     def __init__(self, spec: KernelSpec):
         self.spec = spec
@@ -40,6 +69,32 @@ class CompiledKernel:
         self._function = self._compile_function(
             spec.source, KERNEL_FUNCTION_NAME, f"<tilt-kernel-{spec.name}>"
         )
+
+    @classmethod
+    def from_spec(cls, spec: KernelSpec) -> "CompiledKernel":
+        """Instantiate a kernel from its spec, reusing a previous
+        instantiation of an identical spec in this process."""
+        key = spec.digest()
+        with _KERNEL_REBUILD_LOCK:
+            kernel = _KERNEL_REBUILD_CACHE.get(key)
+            if kernel is not None:
+                _KERNEL_REBUILD_CACHE.move_to_end(key)
+                return kernel
+        # compile outside the lock: kernel compilation is the slow part and
+        # two concurrent rebuilds of the same spec are merely redundant
+        kernel = cls(spec)
+        with _KERNEL_REBUILD_LOCK:
+            existing = _KERNEL_REBUILD_CACHE.get(key)
+            if existing is not None:
+                _KERNEL_REBUILD_CACHE.move_to_end(key)
+                return existing
+            _KERNEL_REBUILD_CACHE[key] = kernel
+            while len(_KERNEL_REBUILD_CACHE) > _KERNEL_REBUILD_LIMIT:
+                _KERNEL_REBUILD_CACHE.popitem(last=False)
+            return kernel
+
+    def __reduce__(self):
+        return (_rebuild_kernel, (self.spec,))
 
     @staticmethod
     def _compile_function(source: str, function_name: str, filename: str):
@@ -79,12 +134,62 @@ class CompiledQuery:
     pass_manager:
         The pass manager that optimized the program (kept for its history /
         statistics; useful for the Figure 10 style sensitivity analysis).
+
+    A compiled query is picklable whenever all of its aggregates are
+    (built-ins always; custom aggregates only when their callables are
+    module-level functions).  Pickling ships the program, the boundary spec
+    and the kernel *specs*; unpickling re-instantiates the kernels through
+    the per-process rebuild cache.  :meth:`pickle_payload` is the
+    process-backend entry point and degrades to ``None`` instead of raising
+    when the query cannot cross a process boundary.
     """
 
     program: TiltProgram
     boundary: BoundarySpec
     kernels: List[CompiledKernel]
     pass_manager: Optional[PassManager] = None
+
+    def __getstate__(self):
+        # the pass manager holds optimizer history (closures over pass
+        # objects) that is neither needed by a worker nor reliably
+        # picklable; the cached payload is process-local by definition.
+        return {
+            "program": self.program,
+            "boundary": self.boundary,
+            "kernels": self.kernels,
+            "pass_manager": None,
+        }
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+    def pickle_payload(self) -> Optional[Tuple[str, bytes]]:
+        """``(digest, pickled bytes)`` for process-pool dispatch, or ``None``.
+
+        The bytes are computed once and cached: a long-running query is
+        serialized a single time no matter how many partitions are shipped.
+        ``None`` means the query's artifacts cannot cross a process boundary
+        (e.g. lambda-based custom aggregates) and the caller should fall
+        back to in-process execution.
+        """
+        payload = self.__dict__.get("_payload", False)
+        if payload is False:
+            try:
+                blob = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+                payload = (hashlib.sha256(blob).hexdigest(), blob)
+            except (pickle.PicklingError, TypeError, AttributeError, ValueError):
+                # the unpicklable-artifact cases (lambda aggregates and the
+                # like); anything else — MemoryError, a bug in a component's
+                # __reduce__ — propagates instead of being silently cached
+                # as "cannot use the process backend"
+                payload = None
+            self.__dict__["_payload"] = payload
+        return payload
+
+    @property
+    def picklable(self) -> bool:
+        """True when this query can be dispatched to a process pool."""
+        return self.pickle_payload() is not None
 
     @property
     def output(self) -> str:

@@ -24,6 +24,8 @@ cannot be serialized into source text).
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -87,6 +89,36 @@ class KernelSpec:
             parts.append(src)
         return "\n".join(parts)
 
+    def digest(self) -> str:
+        """Content digest identifying this spec's executable artifact.
+
+        Two specs with the same digest instantiate interchangeable kernels,
+        which is what the per-process rebuild cache keys on when a spec
+        crosses a process boundary (see
+        :meth:`repro.core.codegen.compiled.CompiledKernel.from_spec`).  The
+        digest covers everything execution depends on: the generated
+        sources, the time domain, the access pattern and the identity of
+        every aggregate (built-ins by name; custom aggregates by their
+        pickled callables — unpicklable aggregates make ``digest`` raise,
+        matching the fact that such a spec cannot leave the process anyway).
+        """
+        h = hashlib.sha256()
+        for text in (self.name, self.source, *self.element_sources):
+            h.update(text.encode())
+            h.update(b"\x00")
+        h.update(repr((self.tdom.start, self.tdom.end, self.tdom.precision)).encode())
+        for ref in sorted(self.accesses):
+            pattern = self.accesses[ref]
+            h.update(ref.encode())
+            h.update(
+                repr(
+                    (sorted(pattern.point_offsets), sorted(pattern.windows))
+                ).encode()
+            )
+        for agg in self.aggregates:
+            h.update(pickle.dumps(agg, protocol=4))
+        return h.hexdigest()
+
 
 class _Emitter:
     """Shared statement emitter used for the main kernel and element maps."""
@@ -104,7 +136,10 @@ class _Emitter:
         self.lines.append(self.indent + text)
 
     def body(self) -> str:
-        return "\n".join(self.lines)
+        # a bare `pass` keeps the enclosing `with` block syntactically valid
+        # even when the expression compiled to no statements (e.g. a lone
+        # variable reference)
+        return "\n".join(self.lines) if self.lines else self.indent + "pass"
 
 
 class _ExprCompiler:
@@ -223,7 +258,7 @@ class _ExprCompiler:
         v, k = self.emitter.fresh()
         self.emitter.emit(
             f"{v}, {k} = rt.reduce(env, {window.ref!r}, {window.start_offset!r}, "
-            f"{window.end_offset!r}, {agg_idx}, {elem_idx}, _ts)"
+            f"{window.end_offset!r}, {agg_idx}, {elem_idx}, _ts, _cache)"
         )
         return v, k
 
@@ -249,7 +284,7 @@ class _KernelBuilder:
         return len(self.element_sources) - 1
 
     def _generate_element_source(self, element: Expr) -> str:
-        emitter = _Emitter()
+        emitter = _Emitter(indent="        ")
         compiler = _ExprCompiler(
             emitter, scope={ELEM_VAR: ("_elem_vals", "_elem_ok")}, kernel=self, allow_temporal=False
         )
@@ -262,13 +297,16 @@ class _KernelBuilder:
             "    _FALSE = _np.zeros(_n, dtype=bool)",
             "    _elem_vals = _np.asarray(elem, dtype=_np.float64)",
             "    _elem_ok = _TRUE",
+            # masked-out lanes are evaluated eagerly and discarded via the
+            # validity mask; errstate keeps them from emitting RuntimeWarnings
+            '    with _np.errstate(all="ignore"):',
             emitter.body(),
             f"    return _np.asarray({out_v}, dtype=_np.float64), _np.asarray({out_k}, dtype=bool)",
         ]
         return "\n".join(line for line in lines if line.strip() or line == "")
 
     def generate(self) -> KernelSpec:
-        emitter = _Emitter()
+        emitter = _Emitter(indent="        ")
         compiler = _ExprCompiler(emitter, scope={}, kernel=self, allow_temporal=True)
         out_v, out_k = compiler.compile(self.te.expr)
         lines = [
@@ -281,6 +319,14 @@ class _KernelBuilder:
             "        return rt.empty(t_start)",
             "    _TRUE = _np.ones(_n, dtype=bool)",
             "    _FALSE = _np.zeros(_n, dtype=bool)",
+            # per-run aggregator cache: execution state lives in the kernel
+            # invocation, never in the shared KernelRuntime (concurrent
+            # partitions of one compiled query must not see each other)
+            "    _cache = {}",
+            # both branches of a conditional (and domain-guarded operands)
+            # are evaluated eagerly, then discarded through the validity
+            # mask; errstate silences the RuntimeWarnings of the masked lanes
+            '    with _np.errstate(all="ignore"):',
             emitter.body(),
             f"    return rt.build(_ts, {out_v}, {out_k}, t_start)",
         ]

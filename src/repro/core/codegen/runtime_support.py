@@ -9,7 +9,7 @@ buffer constructors — is provided through a :class:`KernelRuntime` instance
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, MutableMapping, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +26,18 @@ __all__ = ["KernelRuntime"]
 
 class KernelRuntime:
     """Per-kernel helper object passed to generated code as ``rt``.
+
+    The runtime is **immutable after construction**: it carries only the
+    compile-time registries (aggregates, element maps, access patterns), no
+    execution state.  Anything that lives for one kernel invocation — today
+    the :class:`RangeAggregator` cache — is allocated by the generated
+    kernel itself and threaded through the ``rt`` calls, so one compiled
+    query can run concurrently over many partitions (threads sharing a
+    ``CompiledQuery``, or a process pool's per-process rebuilds) without
+    any cross-run interference.  An earlier design kept the aggregator
+    cache on the runtime, keyed by ``id(buf)`` and cleared by
+    :meth:`eval_times`; that was both a cross-thread stomp (one partition
+    wiping another's cache mid-run) and an ``id``-reuse staleness hazard.
 
     Parameters
     ----------
@@ -55,14 +67,12 @@ class KernelRuntime:
         self.tdom = tdom
         self.aggregates = aggregates
         self.element_functions = element_functions
-        self._range_cache: Dict[Tuple[int, int, int], RangeAggregator] = {}
 
     # ------------------------------------------------------------------ #
     # hooks called from generated code
     # ------------------------------------------------------------------ #
     def eval_times(self, env: Mapping[str, SSBuf], t_start: float, t_end: float) -> np.ndarray:
         """Output timestamps for the partition ``(t_start, t_end]``."""
-        self._range_cache.clear()
         return evaluation_times_for_accesses(self.accesses, env, self.tdom, t_start, t_end)
 
     def empty(self, t_start: float) -> SSBuf:
@@ -87,12 +97,19 @@ class KernelRuntime:
         agg_idx: int,
         elem_idx: int,
         ts: np.ndarray,
+        cache: MutableMapping[Tuple[str, int, int], RangeAggregator],
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Vectorized reduction over ``~ref[t+start_offset : t+end_offset]``."""
+        """Vectorized reduction over ``~ref[t+start_offset : t+end_offset]``.
+
+        ``cache`` is the invocation's private aggregator cache (a fresh dict
+        per generated-kernel call): several reductions over the same input
+        within one invocation share the built :class:`RangeAggregator`
+        index, and nothing outlives the run.
+        """
         buf = env.get(ref)
         if buf is None:
             raise ExecutionError(f"unknown temporal object ~{ref}")
-        aggregator = self._aggregator(buf, agg_idx, elem_idx)
+        aggregator = self._aggregator(buf, ref, agg_idx, elem_idx, cache)
         return aggregator.query(ts + start_offset, ts + end_offset)
 
     def build(self, ts: np.ndarray, values, valid, t_start: float) -> SSBuf:
@@ -109,9 +126,19 @@ class KernelRuntime:
     # ------------------------------------------------------------------ #
     # internal helpers
     # ------------------------------------------------------------------ #
-    def _aggregator(self, buf: SSBuf, agg_idx: int, elem_idx: int) -> RangeAggregator:
-        key = (id(buf), agg_idx, elem_idx)
-        cached = self._range_cache.get(key)
+    def _aggregator(
+        self,
+        buf: SSBuf,
+        ref: str,
+        agg_idx: int,
+        elem_idx: int,
+        cache: MutableMapping[Tuple[str, int, int], RangeAggregator],
+    ) -> RangeAggregator:
+        # keyed by input *name*, not id(buf): within one invocation the env
+        # binding is stable, and names cannot be recycled the way object ids
+        # of freed buffers can.
+        key = (ref, agg_idx, elem_idx)
+        cached = cache.get(key)
         if cached is not None:
             return cached
         agg = self.aggregates[agg_idx]
@@ -126,5 +153,5 @@ class KernelRuntime:
                 start_time=buf.start_time,
             )
         aggregator = RangeAggregator(target, agg)
-        self._range_cache[key] = aggregator
+        cache[key] = aggregator
         return aggregator

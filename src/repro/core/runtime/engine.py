@@ -16,9 +16,11 @@
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
@@ -27,7 +29,13 @@ from ..codegen.compiled import CompiledQuery, compile_program
 from ..codegen.interpreter import evaluate_program
 from ..ir.nodes import TiltProgram
 from ..lineage.boundary import BoundarySpec, resolve_boundaries
-from .executor import Executor, make_executor  # noqa: F401 - Executor re-exported
+from .executor import (  # noqa: F401 - Executor re-exported
+    EXECUTOR_KINDS,
+    Executor,
+    PayloadMissError,
+    make_executor,
+    run_compiled_partition,
+)
 from .partition import Partition, partition_inputs
 from .ssbuf import SSBuf, ssbufs_from_stream
 from .stream import EventStream
@@ -78,9 +86,24 @@ class TiltEngine:
         ``'compiled'`` (default) uses the code-generating backend;
         ``'interpreted'`` runs the reference interpreter (the "UnOpt"
         execution model).
+    executor_kind:
+        Worker-pool backend: ``'serial'``, ``'thread'`` or ``'process'``.
+        ``None`` (default) keeps the historical behavior — serial for one
+        worker, a thread pool otherwise — unless the ``REPRO_EXECUTOR``
+        environment variable names a kind (how the CI matrix runs the whole
+        suite on the process backend).  ``'process'`` executes partitions in
+        a pool of worker processes, sidestepping the GIL entirely; queries
+        whose artifacts cannot be pickled (lambda-based custom aggregates)
+        and interpreted-mode runs fall back to an in-process thread pool
+        automatically.
     optimize / enable_fusion:
         Control the optimizer pipeline (see
         :func:`repro.core.codegen.compile_program`).
+    compile_cache_size:
+        Bound on the per-engine compile cache (LRU eviction).  A long-lived
+        engine serving many distinct programs — the multi-tenant service —
+        releases old compilations instead of holding every program ever
+        compiled forever.
     """
 
     def __init__(
@@ -90,19 +113,31 @@ class TiltEngine:
         partition_interval: Optional[float] = None,
         partitions_per_worker: int = 4,
         mode: str = "compiled",
+        executor_kind: Optional[str] = None,
         optimize: bool = True,
         enable_fusion: bool = True,
+        compile_cache_size: int = 32,
     ):
         if mode not in ("compiled", "interpreted"):
             raise QueryBuildError(f"unknown execution mode {mode!r}")
         if workers < 1:
             raise QueryBuildError("workers must be >= 1")
+        if executor_kind is None:
+            executor_kind = os.environ.get("REPRO_EXECUTOR") or None
+        if executor_kind is not None and executor_kind not in EXECUTOR_KINDS:
+            raise QueryBuildError(
+                f"unknown executor kind {executor_kind!r} (expected one of {EXECUTOR_KINDS})"
+            )
+        if compile_cache_size < 1:
+            raise QueryBuildError("compile_cache_size must be >= 1")
         self.workers = int(workers)
         self.partition_interval = partition_interval
         self.partitions_per_worker = int(partitions_per_worker)
         self.mode = mode
+        self.executor_kind = executor_kind
         self.optimize = optimize
         self.enable_fusion = enable_fusion
+        self.compile_cache_size = int(compile_cache_size)
         # shared across run() calls and all sessions of this engine: one
         # worker pool and one CompiledQuery per program (see open_session).
         # Both are created/looked up under the lock — many sessions open
@@ -111,8 +146,18 @@ class TiltEngine:
         # the same program twice.
         self._lock = threading.RLock()
         self._executor: Optional[Executor] = None
-        self._compile_cache: Dict[tuple, Tuple[TiltProgram, CompiledQuery]] = {}
+        self._fallback_executor: Optional[Executor] = None
+        self._compile_cache: "OrderedDict[tuple, Tuple[TiltProgram, CompiledQuery]]" = (
+            OrderedDict()
+        )
         self._sessions: List["weakref.ref"] = []
+        if self.executor_kind == "process":
+            # fork the worker processes now, while the constructing thread
+            # is (typically) the only one alive — a lazily created pool
+            # would first fork from whatever threaded context issues the
+            # first run/tick (the multi-tenant service's scheduler thread,
+            # a session worker, ...), inheriting mid-held locks.
+            self.shared_executor()
 
     # ------------------------------------------------------------------ #
     # compilation
@@ -137,13 +182,26 @@ class TiltEngine:
         whole check-compile-insert is one critical section, so concurrent
         sessions over the same program get the same ``CompiledQuery`` and
         the program is compiled exactly once.
+
+        The cache is LRU-bounded at ``compile_cache_size`` entries: the
+        least recently used compilation (and its strong reference to the
+        program) is dropped when a new program would exceed the bound, so a
+        long-lived engine compiling an unbounded stream of distinct
+        programs does not leak them.  Sessions keep their own reference to
+        the :class:`CompiledQuery` they were opened with, so eviction never
+        invalidates running work — at worst a later ``open_session`` over an
+        evicted program recompiles.
         """
         key = (id(program), self.optimize, self.enable_fusion)
         with self._lock:
             entry = self._compile_cache.get(key)
-            if entry is None or entry[0] is not program:
+            if entry is not None and entry[0] is program:
+                self._compile_cache.move_to_end(key)
+            else:
                 entry = (program, self.compile(program))
                 self._compile_cache[key] = entry
+                while len(self._compile_cache) > self.compile_cache_size:
+                    self._compile_cache.popitem(last=False)
             return entry[1]
 
     # ------------------------------------------------------------------ #
@@ -159,8 +217,23 @@ class TiltEngine:
         """
         with self._lock:
             if self._executor is None:
-                self._executor = make_executor(self.workers)
+                self._executor = make_executor(self.workers, self.executor_kind)
             return self._executor
+
+    def _thread_fallback(self) -> Executor:
+        """In-process executor used when the process backend cannot take a
+        query (unpicklable artifacts, or interpreted mode).
+
+        Created lazily alongside — not instead of — the process pool, so a
+        mixed workload degrades only the queries that cannot cross the
+        process boundary.  Thread-safe, released by ``close``.
+        """
+        with self._lock:
+            if self._fallback_executor is None:
+                self._fallback_executor = make_executor(
+                    self.workers, "thread" if self.workers > 1 else "serial"
+                )
+            return self._fallback_executor
 
     def _register_session(self, session) -> None:
         """Track a session opened on this engine (weakly, so an abandoned
@@ -194,6 +267,9 @@ class TiltEngine:
             if self._executor is not None:
                 self._executor.shutdown()
                 self._executor = None
+            if self._fallback_executor is not None:
+                self._fallback_executor.shutdown()
+                self._fallback_executor = None
             self._compile_cache.clear()
 
     def __enter__(self) -> "TiltEngine":
@@ -254,18 +330,7 @@ class TiltEngine:
         partitions = self._partition(inputs, boundary, t_start, t_end, alignment)
 
         start = time.perf_counter()
-        executor = self.shared_executor()
-        if compiled is not None:
-            pieces = executor.map(
-                lambda p: compiled.run(p.inputs, p.t_start, p.t_end), partitions
-            )
-        else:
-            pieces = executor.map(
-                lambda p: evaluate_program(
-                    program, p.inputs, p.t_start, p.t_end, boundary=boundary
-                )[program.output],
-                partitions,
-            )
+        pieces = self._map_partitions(compiled, program, boundary, partitions)
         output = SSBuf.concat(pieces).compact() if pieces else SSBuf.empty(t_start)
         elapsed = time.perf_counter() - start
         return QueryResult(
@@ -280,6 +345,61 @@ class TiltEngine:
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
+    def _map_partitions(
+        self,
+        compiled: Optional[CompiledQuery],
+        program: TiltProgram,
+        boundary: BoundarySpec,
+        partitions: List[Partition],
+    ) -> List[SSBuf]:
+        """Execute the partitions on the engine's worker pool.
+
+        The single dispatch point shared by one-shot ``run`` calls and
+        streaming-session ticks.  On the process backend a compiled query is
+        shipped as its cached pickle payload (serialized once, rebuilt once
+        per worker process); queries that cannot cross the process boundary
+        — unpicklable custom aggregates, or interpreted-mode execution,
+        whose closures cannot be pickled at all — degrade gracefully to the
+        engine's in-process thread fallback instead of failing.
+        """
+        executor = self.shared_executor()
+        if executor.kind == "process":
+            payload = compiled.pickle_payload() if compiled is not None else None
+            if payload is not None:
+                digest, blob = payload
+                # ship the payload only until the pool has run it once;
+                # after that a long-lived session sends digest-only tasks
+                # per tick, and a worker that evicted (or never saw) the
+                # query raises PayloadMissError for one re-seeding retry.
+                if digest in executor.seeded_digests:
+                    try:
+                        return executor.map(
+                            run_compiled_partition,
+                            [(digest, None, p) for p in partitions],
+                        )
+                    except PayloadMissError:
+                        pass
+                pieces = executor.map(
+                    run_compiled_partition,
+                    [(digest, blob, p) for p in partitions],
+                )
+                if partitions:
+                    # an empty map never delivered the payload to anyone —
+                    # only a completed non-empty map counts as seeding
+                    executor.seeded_digests.add(digest)
+                return pieces
+            executor = self._thread_fallback()
+        if compiled is not None:
+            return executor.map(
+                lambda p: compiled.run(p.inputs, p.t_start, p.t_end), partitions
+            )
+        return executor.map(
+            lambda p: evaluate_program(
+                program, p.inputs, p.t_start, p.t_end, boundary=boundary
+            )[program.output],
+            partitions,
+        )
+
     def _prepare(
         self, query: Union[TiltProgram, CompiledQuery]
     ) -> Tuple[TiltProgram, Optional[CompiledQuery]]:

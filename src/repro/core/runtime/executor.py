@@ -4,24 +4,50 @@ The compiled kernels are pure functions of their partition, so parallel
 execution needs no locks, no shared aggregation state and no cross-worker
 communication — the property the paper credits for TiLT's scalability
 advantage over Grizzly's atomic shared state and LightSaber's aggregation
-trees.  Two executors are provided:
+trees.  Three executors are provided:
 
 * :class:`SerialExecutor` — runs partitions in the calling thread (the
   single-worker configuration, and the deterministic mode used by tests);
 * :class:`ThreadPoolExecutor` — a pool of worker threads; the NumPy kernels
   release the GIL for their array work, so this gives real (if sub-linear)
-  multi-core scaling on CPython.
+  multi-core scaling on CPython;
+* :class:`ProcessPoolExecutor` — a pool of worker processes; partitions and
+  compiled-query payloads are pickled across the boundary, so scaling is not
+  bounded by the GIL at all.  Each worker process rebuilds the kernels from
+  the generated source once per query (content-digest cache) and then runs
+  partitions exactly as an in-process worker would.
+
+Process dispatch cannot ship closures, so the engine submits the
+module-level :func:`run_compiled_partition` task with a ``(digest, payload,
+partition)`` tuple; queries whose artifacts cannot be pickled (e.g.
+lambda-based custom aggregates) never reach this path — the engine falls
+back to its thread executor (see :meth:`TiltEngine._map_partitions`).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Callable, Iterable, List, Sequence, TypeVar
+import math
+import multiprocessing
+import os
+import threading
+from collections import OrderedDict
+from typing import Callable, List, Optional, Sequence, Set, Tuple, TypeVar
 
-__all__ = ["Executor", "SerialExecutor", "ThreadPoolExecutor", "make_executor"]
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "make_executor",
+    "run_compiled_partition",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: executor kinds accepted by :func:`make_executor` / ``TiltEngine``
+EXECUTOR_KINDS = ("serial", "thread", "process")
 
 
 class Executor:
@@ -29,6 +55,9 @@ class Executor:
 
     #: number of workers this executor uses (1 for serial)
     workers: int = 1
+
+    #: backend family: ``"serial"``, ``"thread"`` or ``"process"``
+    kind: str = "serial"
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         raise NotImplementedError
@@ -47,6 +76,7 @@ class SerialExecutor(Executor):
     """Run every item in the calling thread, in order."""
 
     workers = 1
+    kind = "serial"
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         return [fn(item) for item in items]
@@ -54,6 +84,8 @@ class SerialExecutor(Executor):
 
 class ThreadPoolExecutor(Executor):
     """Thread-pool executor with an order-preserving map."""
+
+    kind = "thread"
 
     def __init__(self, workers: int):
         if workers < 1:
@@ -68,8 +100,162 @@ class ThreadPoolExecutor(Executor):
         self._pool.shutdown(wait=True)
 
 
-def make_executor(workers: int) -> Executor:
-    """Serial executor for one worker, a thread pool otherwise."""
-    if workers <= 1:
+def _warm_worker(_index: int) -> int:
+    """No-op pool-warmup task (module-level so it pickles by reference)."""
+    return os.getpid()
+
+
+def _default_mp_context():
+    """Multiprocessing start method for the process backend.
+
+    ``fork`` where available: workers inherit the imported modules (cheap
+    startup) and — unlike ``forkserver``/``spawn`` — nothing re-imports the
+    parent's ``__main__``, so engines embedded in scripts without an
+    ``if __name__ == "__main__"`` guard, in REPLs, or in stdin-driven
+    programs keep working.  This matches the stdlib's own Linux default
+    through Python 3.13.  The known caveat is forking a *multi-threaded*
+    parent (locks copied mid-held into the child); embedders for whom that
+    matters — and whose ``__main__`` is import-safe — can set the
+    ``REPRO_MP_CONTEXT`` environment variable to ``forkserver`` or
+    ``spawn``, which this honours verbatim.
+    """
+    name = os.environ.get("REPRO_MP_CONTEXT")
+    if name:
+        return multiprocessing.get_context(name)
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")  # pragma: no cover - non-POSIX
+
+
+class ProcessPoolExecutor(Executor):
+    """Process-pool executor with an order-preserving map.
+
+    The submitted callable must be picklable by reference (a module-level
+    function); the engine uses :func:`run_compiled_partition`.  The pool is
+    long-lived — it is created once per engine and reused by every run and
+    every streaming tick, so worker startup and per-query kernel rebuilds
+    are one-time costs.
+    """
+
+    kind = "process"
+
+    def __init__(self, workers: int, mp_context=None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
+        #: payload digests this pool has been seeded with (a completed map
+        #: that carried the payload); later dispatches for these digests may
+        #: go digest-only, with :class:`PayloadMissError` as the recovery
+        #: path for workers that evicted (or never saw) the query.
+        self.seeded_digests: Set[str] = set()
+        self._pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=mp_context if mp_context is not None else _default_mp_context(),
+        )
+        # Pre-spawn every worker now rather than at the first submit: under
+        # the default fork start method this snapshots the parent at pool
+        # *creation* time — typically before an embedding application (the
+        # multi-tenant service included) has started its own threads — so
+        # workers never inherit another thread's locks mid-held.
+        list(self._pool.map(_warm_worker, range(self.workers), chunksize=1))
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        items = list(items)
+        if not items:
+            return []
+        # One chunk per worker: besides cutting IPC round trips, pickle
+        # memoizes repeated objects *within* a chunk, so the shared query
+        # payload embedded in every task crosses the boundary once per
+        # worker instead of once per partition.  Static chunking is safe
+        # here because partitions are cost-uniform by construction (equal
+        # output intervals).
+        chunksize = max(1, math.ceil(len(items) / self.workers))
+        return list(self._pool.map(fn, items, chunksize=chunksize))
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def make_executor(workers: int, kind: Optional[str] = None) -> Executor:
+    """Build an executor.
+
+    ``kind=None`` keeps the historical default: serial for one worker, a
+    thread pool otherwise.  Explicit kinds force the backend regardless of
+    the worker count (a one-worker process pool is still a separate
+    process — useful for testing the serialization path).
+    """
+    if kind is None:
+        return SerialExecutor() if workers <= 1 else ThreadPoolExecutor(workers)
+    if kind == "serial":
         return SerialExecutor()
-    return ThreadPoolExecutor(workers)
+    if kind == "thread":
+        return ThreadPoolExecutor(max(1, workers))
+    if kind == "process":
+        return ProcessPoolExecutor(max(1, workers))
+    raise ValueError(f"unknown executor kind {kind!r} (expected one of {EXECUTOR_KINDS})")
+
+
+# ---------------------------------------------------------------------- #
+# process-pool worker side
+# ---------------------------------------------------------------------- #
+class PayloadMissError(Exception):
+    """A worker received a digest-only task for a query it has not cached.
+
+    Raised back to the parent, which retries the map with the payload
+    attached (see ``TiltEngine._map_partitions``).  Happens when the worker
+    evicted the query from its bounded cache, or when a replacement worker
+    process joined the pool after the query was first seeded.
+    """
+
+    def __init__(self, digest: str):
+        super().__init__(digest)
+        self.digest = digest
+
+
+#: per-process LRU of unpickled compiled queries, keyed by payload digest.
+#: Bounded so a long-lived worker serving many distinct queries cannot
+#: accumulate kernels without limit (mirrors the engine's LRU compile
+#: cache); eviction is recency-based, so a fleet's hot queries stay warm.
+#: The bound comfortably exceeds QueryService's default ``max_tenants``
+#: (64) — a full default-configuration fleet must not thrash the cache
+#: (every eviction costs a PayloadMissError retry of a whole map).
+_WORKER_QUERY_CACHE: "OrderedDict[str, object]" = OrderedDict()
+_WORKER_QUERY_LOCK = threading.Lock()
+_WORKER_QUERY_CACHE_LIMIT = 128
+
+
+def _worker_compiled_query(digest: str, payload: Optional[bytes]):
+    import pickle
+
+    with _WORKER_QUERY_LOCK:
+        compiled = _WORKER_QUERY_CACHE.get(digest)
+        if compiled is not None:
+            _WORKER_QUERY_CACHE.move_to_end(digest)
+            return compiled
+    if payload is None:
+        raise PayloadMissError(digest)
+    compiled = pickle.loads(payload)
+    with _WORKER_QUERY_LOCK:
+        _WORKER_QUERY_CACHE[digest] = compiled
+        _WORKER_QUERY_CACHE.move_to_end(digest)
+        while len(_WORKER_QUERY_CACHE) > _WORKER_QUERY_CACHE_LIMIT:
+            _WORKER_QUERY_CACHE.popitem(last=False)
+    return compiled
+
+
+def run_compiled_partition(task: Tuple[str, Optional[bytes], object]):
+    """Process-pool task: run one partition of a compiled query.
+
+    ``task`` is ``(digest, payload, partition)`` where ``payload`` is the
+    pickled :class:`~repro.core.codegen.compiled.CompiledQuery` — or
+    ``None`` once the parent has seeded the pool, so a long-running
+    streaming session ships only the digest per tick.  The expensive
+    unpickle+rebuild happens at most once per process, guarded by the
+    digest LRU; a digest-only miss raises :class:`PayloadMissError` for the
+    parent to retry with the payload.  ``partition`` is a
+    :class:`~repro.core.runtime.partition.Partition`.  Returns the output
+    snapshot buffer, which pickles back to the parent as raw arrays.
+    """
+    digest, payload, partition = task
+    compiled = _worker_compiled_query(digest, payload)
+    return compiled.run(partition.inputs, partition.t_start, partition.t_end)

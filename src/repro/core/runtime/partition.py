@@ -56,6 +56,12 @@ class Partition:
     t_end: float
     inputs: Dict[str, SSBuf]
 
+    def __reduce__(self):
+        # constructor-based reduction: a partition crosses a process
+        # boundary as its two bounds plus raw-array snapshot buffers (see
+        # :meth:`SSBuf.__reduce__`), with no per-instance dict state.
+        return (Partition, (self.index, self.t_start, self.t_end, self.inputs))
+
     @property
     def span(self) -> float:
         return self.t_end - self.t_start

@@ -52,7 +52,6 @@ import numpy as np
 
 from ...errors import ExecutionError, OverlappingEventsError, QueryBuildError
 from ..codegen.compiled import CompiledQuery
-from ..codegen.interpreter import evaluate_program
 from ..ir.nodes import TiltProgram
 from ..lineage.boundary import resolve_boundaries
 from .engine import QueryResult, TiltEngine
@@ -477,20 +476,12 @@ class StreamingSession:
         partitions = self._engine._partition(
             inputs, self._boundary, self._t_emit, w, self._alignment
         )
-        executor = self._engine.shared_executor()
-        if self._compiled is not None:
-            compiled = self._compiled
-            pieces = executor.map(
-                lambda p: compiled.run(p.inputs, p.t_start, p.t_end), partitions
-            )
-        else:
-            program, boundary = self._program, self._boundary
-            pieces = executor.map(
-                lambda p: evaluate_program(
-                    program, p.inputs, p.t_start, p.t_end, boundary=boundary
-                )[program.output],
-                partitions,
-            )
+        # single dispatch point shared with TiltEngine.run: picks the
+        # engine's worker pool, ships picklable compiled queries to the
+        # process backend, and falls back to threads otherwise.
+        pieces = self._engine._map_partitions(
+            self._compiled, self._program, self._boundary, partitions
+        )
         delta = SSBuf.concat(pieces).compact() if pieces else SSBuf.empty(self._t_emit)
         t_lo = self._t_emit
         # retain the delta *before* advancing the watermark: a concurrent

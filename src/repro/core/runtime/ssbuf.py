@@ -94,6 +94,16 @@ class SSBuf:
             raise QueryBuildError("start_time must not exceed the first snapshot timestamp")
 
     # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def __reduce__(self):
+        # Serialized as the three raw NumPy arrays plus the start time, and
+        # reconstructed without re-validation: the arrays of a live buffer
+        # are already ordered/equal-length, and skipping the checks keeps
+        # process-parallel partition transfer cheap.
+        return (_ssbuf_from_arrays, (self.times, self.values, self.valid, self.start_time))
+
+    # ------------------------------------------------------------------ #
     # constructors
     # ------------------------------------------------------------------ #
     @classmethod
@@ -397,6 +407,17 @@ class SSBuf:
         uniq = np.ones(len(times), dtype=bool)
         uniq[1:] = np.diff(times) > 0
         return SSBuf(times[uniq], values[uniq], valid[uniq], start_time=parts[0].start_time)
+
+
+def _ssbuf_from_arrays(times, values, valid, start_time) -> "SSBuf":
+    """Unpickle hook: rebuild an :class:`SSBuf` from its raw arrays without
+    re-running constructor validation (see :meth:`SSBuf.__reduce__`)."""
+    buf = SSBuf.__new__(SSBuf)
+    buf.times = times
+    buf.values = values
+    buf.valid = valid
+    buf.start_time = start_time
+    return buf
 
 
 def ssbuf_from_stream(

@@ -226,6 +226,13 @@ class QueryService:
     workers:
         Worker count for the internally created engine (ignored when
         ``engine`` is given).
+    executor_kind:
+        Worker-pool backend for the internally created engine
+        (``"serial"``/``"thread"``/``"process"``; ``None`` keeps the
+        engine's default).  A fleet of compiled tenant queries on the
+        ``"process"`` backend scales across cores instead of contending on
+        the GIL; tenants whose queries cannot be pickled fall back to
+        threads per query.  Ignored when ``engine`` is given.
     policy:
         Scheduler policy: ``"fair"`` (default), ``"round_robin"``, or a
         :class:`~repro.serve.scheduler.SchedulerPolicy` instance.
@@ -241,6 +248,7 @@ class QueryService:
         engine: Optional[TiltEngine] = None,
         *,
         workers: int = 4,
+        executor_kind: Optional[str] = None,
         policy: Union[str, SchedulerPolicy] = "fair",
         max_tenants: int = 64,
         max_pending_events: int = 65_536,
@@ -249,7 +257,11 @@ class QueryService:
         default_deadline: Optional[float] = None,
         clock=time.monotonic,
     ):
-        self._engine = engine if engine is not None else TiltEngine(workers=workers)
+        self._engine = (
+            engine
+            if engine is not None
+            else TiltEngine(workers=workers, executor_kind=executor_kind)
+        )
         self._owns_engine = engine is None
         if isinstance(policy, str):
             policy = make_policy(policy)

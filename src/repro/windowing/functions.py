@@ -74,6 +74,11 @@ class AggregateFunction:
     merge: Optional[Callable[[State, State], State]] = None
     prefix_arrays: Optional[Callable[[np.ndarray], Tuple[np.ndarray, ...]]] = None
     prefix_result: Optional[Callable[..., np.ndarray]] = None
+    #: accumulate prefix sums in extended precision.  Only aggregates whose
+    #: result is a *cancellation* of large prefix components (variance's
+    #: sum-of-squares formula, amplified by stddev's sqrt near zero) need
+    #: this; plain sums/means stay on fast float64.
+    prefix_extended_precision: bool = False
     rmq: Optional[str] = None  # 'max' | 'min'
     vector_eval: Optional[Callable[[np.ndarray], float]] = None
 
@@ -116,12 +121,41 @@ class AggregateFunction:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"AggregateFunction({self.name})"
 
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    def __reduce_ex__(self, protocol):
+        # Built-in aggregates are module-level singletons whose lambdas
+        # cannot be pickled; serialize them by name so compiled-query
+        # artifacts can cross a process boundary, and restore the singleton
+        # (identity-preserving, so ``agg is SUM`` keeps holding after a
+        # round-trip).  Custom aggregates fall back to the default protocol:
+        # they are picklable exactly when their callables are (module-level
+        # functions yes, lambdas no) — the execution backend uses that to
+        # decide between process dispatch and its thread fallback.
+        if _BUILTIN_SINGLETONS.get(self.name) is self:
+            return (_restore_builtin_aggregate, (self.name,))
+        return super().__reduce_ex__(protocol)
+
 
 # ---------------------------------------------------------------------- #
 # built-in aggregates
 # ---------------------------------------------------------------------- #
 def _safe_sqrt(x: np.ndarray) -> np.ndarray:
     return np.sqrt(np.maximum(x, 0.0))
+
+
+def _variance_prefix_arrays(vals: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Center values on the buffer mean before building variance prefix arrays.
+
+    Variance is shift-invariant, but the sum-of-squares formula over raw
+    prefix sums cancels catastrophically when ``mean² >> variance`` (large
+    prefix totals minus large prefix totals).  Centering keeps the component
+    arrays small, so windowed variance/stddev stay accurate even over long
+    buffers of large values.
+    """
+    centered = vals - np.mean(vals) if len(vals) else vals
+    return (centered, centered * centered, np.ones_like(vals))
 
 
 SUM = AggregateFunction(
@@ -198,7 +232,8 @@ VARIANCE = AggregateFunction(
     result=lambda s: max(s[1] / s[2] - (s[0] / s[2]) ** 2, 0.0) if s[2] else 0.0,
     deacc=lambda s, v: (s[0] - v, s[1] - v * v, s[2] - 1.0),
     merge=lambda a, b: (a[0] + b[0], a[1] + b[1], a[2] + b[2]),
-    prefix_arrays=lambda vals: (vals, vals * vals, np.ones_like(vals)),
+    prefix_arrays=_variance_prefix_arrays,
+    prefix_extended_precision=True,
     prefix_result=lambda s, sq, n: np.maximum(
         np.where(
             n != 0,
@@ -218,6 +253,7 @@ STDDEV = AggregateFunction(
     deacc=VARIANCE.deacc,
     merge=VARIANCE.merge,
     prefix_arrays=VARIANCE.prefix_arrays,
+    prefix_extended_precision=True,
     prefix_result=lambda s, sq, n: _safe_sqrt(VARIANCE.prefix_result(s, sq, n)),
     vector_eval=lambda vals: float(np.std(vals)),
 )
@@ -278,6 +314,11 @@ def custom_aggregate(
     )
 
 
+def _restore_builtin_aggregate(name: str) -> AggregateFunction:
+    """Unpickle hook: resolve a built-in aggregate back to its singleton."""
+    return _BUILTIN_SINGLETONS[name]
+
+
 def builtin_aggregates() -> Dict[str, AggregateFunction]:
     """Mapping of all built-in aggregate names to their definitions."""
     return {
@@ -296,3 +337,7 @@ def builtin_aggregates() -> Dict[str, AggregateFunction]:
             LAST,
         )
     }
+
+
+#: the built-in singletons, used by pickling to serialize builtins by name
+_BUILTIN_SINGLETONS: Dict[str, AggregateFunction] = builtin_aggregates()

@@ -67,7 +67,20 @@ class PrefixRangeIndex:
         self.times = np.asarray(times, dtype=np.float64)
         self.interval_starts = np.asarray(interval_starts, dtype=np.float64)
         valid = np.asarray(valid, dtype=bool)
-        masked = np.where(valid, np.asarray(values, dtype=np.float64), 0.0)
+        # Aggregates whose result cancels large prefix components against
+        # each other (variance/stddev) accumulate in extended precision:
+        # a windowed value is the difference of two potentially huge prefix
+        # totals, and float64 cancellation there is what used to make a
+        # near-zero windowed variance come out at ~1e-8 (so ~1e-4 stddev
+        # after the sqrt amplification).  The component arrays themselves
+        # are built in that dtype too — squaring in float64 first would
+        # already bake in more rounding error than the longdouble prefixes
+        # can cancel.  Everything else (sums, means, counts) stays on fast
+        # float64.
+        dtype = np.longdouble if agg.prefix_extended_precision else np.float64
+        masked = np.where(valid, np.asarray(values, dtype=np.float64), 0.0).astype(
+            dtype, copy=False
+        )
         components = agg.prefix_arrays(masked)
         # invalid snapshots must contribute nothing to *any* component
         # (e.g. the count component of Mean), hence the explicit masking.
@@ -75,7 +88,9 @@ class PrefixRangeIndex:
         self._valid_prefix = np.concatenate(([0.0], np.cumsum(valid.astype(np.float64))))
         for comp in components:
             comp = np.where(valid, comp, 0.0)
-            self._prefixes.append(np.concatenate(([0.0], np.cumsum(comp))))
+            prefix = np.zeros(len(comp) + 1, dtype=dtype)
+            np.cumsum(comp, dtype=dtype, out=prefix[1:])
+            self._prefixes.append(prefix)
 
     def query(
         self, window_starts: np.ndarray, window_ends: np.ndarray

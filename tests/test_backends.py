@@ -1,0 +1,270 @@
+"""Cross-backend execution equivalence and process-parallel specifics.
+
+The paper's scalability argument rests on compiled kernels being pure
+functions of their partition; the worker-pool backend must therefore be
+unobservable in the output.  This suite pins that down: every application in
+``repro.apps`` produces byte-identical snapshot buffers on the serial,
+thread and process backends (including over ragged partition grids), a
+streaming session ticks identically on the process backend, and the
+serialization contract (specs, buffers, partitions, payload caching,
+thread fallback for unpicklable queries) holds.
+"""
+
+import gc
+import pickle
+import weakref
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPLICATIONS, get_application
+from repro.core.codegen.compiled import CompiledKernel, CompiledQuery, compile_program
+from repro.core.frontend.query import PAYLOAD, source
+from repro.core.runtime.engine import TiltEngine
+from repro.core.runtime.executor import (
+    _WORKER_QUERY_CACHE,
+    PayloadMissError,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ThreadPoolExecutor,
+    make_executor,
+    run_compiled_partition,
+)
+from repro.core.runtime.partition import Partition, partition_inputs
+from repro.core.runtime.ssbuf import SSBuf, ssbuf_from_stream
+from repro.datagen.sources import sources_for_streams
+from repro.errors import QueryBuildError
+from repro.windowing import MEAN, custom_aggregate
+
+E = PAYLOAD
+
+#: events per application — small enough to keep the sweep fast, large
+#: enough that every app emits output across several partitions
+APP_EVENTS = 500
+
+
+@pytest.fixture(scope="module")
+def process_engine():
+    """One long-lived process pool shared by the whole equivalence sweep."""
+    with TiltEngine(workers=2, executor_kind="process", partitions_per_worker=3) as engine:
+        yield engine
+
+
+@pytest.fixture(scope="module")
+def thread_engine():
+    with TiltEngine(workers=3, executor_kind="thread", partitions_per_worker=3) as engine:
+        yield engine
+
+
+# ---------------------------------------------------------------------- #
+# cross-backend equivalence
+# ---------------------------------------------------------------------- #
+class TestCrossBackendEquivalence:
+    @pytest.mark.parametrize("name", sorted(ALL_APPLICATIONS))
+    def test_every_app_identical_across_backends(self, name, thread_engine, process_engine):
+        app = ALL_APPLICATIONS[name]
+        program = app.program()
+        streams = app.streams(APP_EVENTS, seed=17)
+        with TiltEngine(workers=1) as serial:
+            reference = serial.run(program, streams).output
+        assert thread_engine.run(program, streams).output == reference
+        assert process_engine.run(program, streams).output == reference
+
+    @pytest.mark.parametrize("interval", [13.0, 41.5])
+    def test_ragged_partition_intervals(self, interval):
+        """Fixed-interval partitioning that does not divide the time range
+        evenly (a ragged tail partition) is backend-invariant too."""
+        app = get_application("trading")
+        program = app.program()
+        streams = app.streams(700, seed=5)
+        with TiltEngine(workers=1) as serial:
+            reference = serial.run(program, streams).output
+        for kind in ("thread", "process"):
+            with TiltEngine(workers=2, executor_kind=kind, partition_interval=interval) as eng:
+                assert eng.run(program, streams).output == reference, kind
+
+    def test_streaming_session_ticks_on_process_backend(self):
+        """Tick-by-tick session output on the process backend concatenates to
+        the serial one-shot run, ragged ticks included."""
+        app = get_application("rsi")
+        program = app.program()
+        streams = app.streams(600, seed=11)
+        with TiltEngine(workers=1) as serial:
+            reference = serial.run(program, streams).output
+        with TiltEngine(workers=2, executor_kind="process") as engine:
+            session = engine.open_session(
+                program, sources_for_streams(streams, events_per_poll=83)
+            )
+            ticks = 0
+            while not session.exhausted:
+                session.tick()
+                ticks += 1
+            session.close()
+            assert ticks > 3, "expected a multi-tick run"
+            assert session.result().output == reference
+
+
+# ---------------------------------------------------------------------- #
+# serialization contract
+# ---------------------------------------------------------------------- #
+class TestSerialization:
+    def test_ssbuf_round_trips_as_raw_arrays(self, random_walk_buf):
+        clone = pickle.loads(pickle.dumps(random_walk_buf))
+        assert clone == random_walk_buf
+        assert clone.start_time == random_walk_buf.start_time
+
+    def test_partition_round_trip(self, random_walk_buf):
+        program = get_application("trading").program()
+        compiled = compile_program(program)
+        parts = partition_inputs(
+            {"stock": random_walk_buf}, compiled.boundary, 0.0, 200.0, num_partitions=4
+        )
+        clone = pickle.loads(pickle.dumps(parts[1]))
+        assert isinstance(clone, Partition)
+        assert (clone.index, clone.t_start, clone.t_end) == (
+            parts[1].index,
+            parts[1].t_start,
+            parts[1].t_end,
+        )
+        assert clone.inputs["stock"] == parts[1].inputs["stock"]
+
+    def test_compiled_query_round_trip_runs_identically(self, random_walk_buf):
+        program = get_application("trading").program()
+        compiled = compile_program(program)
+        reference = compiled.run({"stock": random_walk_buf}, 0.0, 200.0)
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone.run({"stock": random_walk_buf}, 0.0, 200.0) == reference
+
+    def test_kernel_rebuild_cache_shares_instantiations(self):
+        """Unpickling the same kernel twice in one process instantiates it
+        once (content-digest rebuild cache)."""
+        program = source("stock").window(10, 1).aggregate(MEAN).to_program()
+        compiled = compile_program(program)
+        blob = pickle.dumps(compiled.kernels[0])
+        first = pickle.loads(blob)
+        second = pickle.loads(blob)
+        assert first is second
+        assert isinstance(first, CompiledKernel)
+        assert first.spec.digest() == compiled.kernels[0].spec.digest()
+
+    def test_payload_computed_once_and_cached(self):
+        program = get_application("trading").program()
+        compiled = compile_program(program)
+        payload = compiled.pickle_payload()
+        assert payload is not None and compiled.picklable
+        assert compiled.pickle_payload() is payload
+
+    def test_unpicklable_custom_aggregate_degrades_to_none(self):
+        crest = custom_aggregate(
+            "crest",
+            init=lambda: (0.0, 0.0),
+            acc=lambda s, v: (max(s[0], abs(v)), s[1] + v * v),
+            result=lambda s: s[0],
+        )
+        program = source("stock").window(10, 1).aggregate(crest).to_program()
+        compiled = compile_program(program)
+        assert compiled.pickle_payload() is None
+        assert not compiled.picklable
+
+    def test_run_compiled_partition_task(self, random_walk_buf):
+        """The module-level worker task runs a shipped partition end to end
+        (exercised in-process, exactly as a pool worker would)."""
+        program = get_application("trading").program()
+        compiled = compile_program(program)
+        digest, blob = compiled.pickle_payload()
+        parts = partition_inputs(
+            {"stock": random_walk_buf}, compiled.boundary, 0.0, 200.0, num_partitions=3
+        )
+        pieces = [run_compiled_partition((digest, blob, p)) for p in parts]
+        expected = [compiled.run(p.inputs, p.t_start, p.t_end) for p in parts]
+        assert pieces == expected
+
+    def test_digest_only_task_misses_then_hits(self, random_walk_buf):
+        """A digest-only task raises ``PayloadMissError`` in a cold worker
+        and succeeds once the worker has been seeded — the steady-state
+        protocol that keeps session ticks from re-shipping the payload."""
+        program = get_application("trading").program()
+        compiled = compile_program(program)
+        digest, blob = compiled.pickle_payload()
+        part = partition_inputs(
+            {"stock": random_walk_buf}, compiled.boundary, 0.0, 100.0, num_partitions=1
+        )[0]
+        _WORKER_QUERY_CACHE.pop(digest, None)  # make this "worker" cold
+        with pytest.raises(PayloadMissError):
+            run_compiled_partition((digest, None, part))
+        seeded = run_compiled_partition((digest, blob, part))
+        assert run_compiled_partition((digest, None, part)) == seeded
+
+    def test_process_engine_seeds_pool_then_goes_digest_only(self):
+        """After the first run, the engine marks the payload digest as
+        seeded on its pool and later runs (and session ticks) dispatch
+        digest-only tasks — still byte-identical."""
+        app = get_application("trading")
+        program = app.program()
+        streams = app.streams(500, seed=21)
+        with TiltEngine(workers=1) as serial:
+            reference = serial.run(program, streams).output
+        with TiltEngine(workers=2, executor_kind="process") as engine:
+            compiled = engine.compile(program)
+            digest, _ = compiled.pickle_payload()
+            assert engine.run(compiled, streams).output == reference
+            assert digest in engine.shared_executor().seeded_digests
+            assert engine.run(compiled, streams).output == reference
+
+
+# ---------------------------------------------------------------------- #
+# backend selection and fallback
+# ---------------------------------------------------------------------- #
+class TestBackendSelection:
+    def test_make_executor_kinds(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+        assert isinstance(make_executor(3), ThreadPoolExecutor)
+        assert isinstance(make_executor(4, "serial"), SerialExecutor)
+        with make_executor(2, "process") as pool:
+            assert isinstance(pool, ProcessPoolExecutor)
+            assert pool.kind == "process"
+        with pytest.raises(ValueError):
+            make_executor(2, "gpu")
+
+    def test_engine_rejects_unknown_kind(self):
+        with pytest.raises(QueryBuildError):
+            TiltEngine(workers=2, executor_kind="gpu")
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        engine = TiltEngine(workers=2)
+        try:
+            assert engine.executor_kind == "process"
+            assert engine.shared_executor().kind == "process"
+        finally:
+            engine.close()
+        monkeypatch.setenv("REPRO_EXECUTOR", "serial")
+        with TiltEngine(workers=2) as engine:
+            assert engine.shared_executor().kind == "serial"
+
+    def test_explicit_kind_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        with TiltEngine(workers=2, executor_kind="thread") as engine:
+            assert engine.shared_executor().kind == "thread"
+
+    def test_unpicklable_query_falls_back_to_threads(self):
+        """A lambda-aggregate query on the process backend silently runs on
+        the in-process fallback and still matches serial output."""
+        app = get_application("vibration")  # custom lambda aggregates
+        program = app.program()
+        streams = app.streams(400, seed=2)
+        with TiltEngine(workers=1) as serial:
+            reference = serial.run(program, streams).output
+        with TiltEngine(workers=2, executor_kind="process") as engine:
+            assert not engine.compile(program).picklable
+            assert engine.run(program, streams).output == reference
+            assert engine._fallback_executor is not None
+            assert engine._fallback_executor.kind == "thread"
+
+    def test_interpreted_mode_falls_back_to_threads(self, random_walk_stream):
+        program = get_application("trading").program()
+        with TiltEngine(workers=1, mode="interpreted") as serial:
+            reference = serial.run(program, {"stock": random_walk_stream}).output
+        with TiltEngine(workers=2, executor_kind="process", mode="interpreted") as engine:
+            assert engine.run(program, {"stock": random_walk_stream}).output == reference
+            assert engine._fallback_executor is not None

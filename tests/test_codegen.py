@@ -219,6 +219,36 @@ def test_compiled_matches_interpreted(name, random_walk_stream):
     assert np.allclose(iv[ik], cv[ck], rtol=1e-9, atol=1e-9)
 
 
+def test_masked_lanes_emit_no_runtime_warnings():
+    """Both branches of a conditional (and guarded operands) are evaluated
+    eagerly and discarded via the validity mask; the kernel body runs under
+    ``errstate`` so those masked-out lanes must not leak NumPy
+    ``RuntimeWarning``s (invalid power, divide, overflow, ...)."""
+    import warnings
+
+    # domain-hostile query: fractional power of negative values (guarded by
+    # the conditional), division whose masked branch divides by zero, and a
+    # guarded sqrt/log pair
+    x = source("stock")
+    query = when(
+        E >= 0.0,
+        (E ** 0.5) + (1.0 / E),
+        (abs(E) ** 0.5) - ((0.0 - E) ** 1.5),
+    )
+    program = x.select(query).to_program()
+    values = [4.0, -9.0, 0.0, 16.0, -2.0, 25.0]
+    stream = EventStream.from_samples(values, period=1.0, name="stock")
+    buf = ssbuf_from_stream(stream)
+    compiled = compile_program(program)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", RuntimeWarning)
+        out = compiled.run({"stock": buf}, 0.0, float(len(values)))
+    # the semantics are unchanged: valid lanes still compute their branch
+    assert out.value_at(4.0) == (pytest.approx(4.0 + 1.0 / 16.0), True)
+    v, ok = out.value_at(2.0)  # -9.0: else-branch, 3 - 27
+    assert ok and v == pytest.approx(3.0 - 27.0)
+
+
 def test_compiled_output_on_gappy_stream():
     events = [Event(0.0, 1.0, 5.0), Event(4.0, 6.0, 7.0), Event(9.0, 9.5, -2.0)]
     stream = EventStream(events, name="stock")

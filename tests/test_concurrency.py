@@ -12,11 +12,18 @@ import threading
 import pytest
 
 from repro.apps import get_application
+from repro.core.codegen.compiled import compile_program
+from repro.core.frontend.query import PAYLOAD, source
 from repro.core.runtime.engine import TiltEngine
+from repro.core.runtime.ssbuf import ssbuf_from_stream
+from repro.core.runtime.stream import EventStream
 from repro.datagen.sources import sources_for_streams
 from repro.errors import ExecutionError
+from repro.windowing import MEAN, SUM
 
 N_THREADS = 6
+
+E = PAYLOAD
 
 
 class TestConcurrentSessions:
@@ -91,6 +98,107 @@ class TestConcurrentSessions:
             t.join(timeout=30.0)
         assert all(r is results[0] for r in results)
         engine.close()
+
+
+class TestKernelRuntimeIsolation:
+    """Regression tests for the shared-KernelRuntime races.
+
+    The old runtime kept a ``_range_cache`` on the shared per-kernel
+    ``KernelRuntime``, keyed by ``id(buf)`` and wiped by every
+    ``eval_times`` call — a cross-thread stomp (one partition clearing
+    another's cache mid-run) and an ``id``-reuse staleness hazard (a freed
+    buffer's id recycled onto different data, resurrecting an aggregator
+    built over the wrong partition).  Execution state is now per-invocation:
+    the generated kernel allocates a fresh cache dict per run and threads it
+    through ``rt.reduce``.
+    """
+
+    @staticmethod
+    def _elem_mapped_program():
+        # elem-mapped reduce: the hazard path builds (and used to cache, on
+        # the shared runtime) a derived mapped buffer per (input, aggregate)
+        return source("stock").window(12, 1).aggregate(SUM, element=E * E).to_program()
+
+    def test_kernel_runtime_carries_no_execution_state(self):
+        """The shared runtime object must be stateless across invocations —
+        this is the contract the concurrency fix introduced (the old
+        runtime fails here by carrying ``_range_cache``)."""
+        compiled = compile_program(self._elem_mapped_program())
+        for kernel in compiled.kernels:
+            assert not hasattr(kernel.runtime, "_range_cache")
+
+    def test_concurrent_eval_times_cannot_stomp_a_running_invocation(self, monkeypatch):
+        """Simulates the hostile interleave: partition B calls
+        ``eval_times`` while partition A is mid-run.  A's aggregator cache
+        must survive — the same (input, aggregate) key is reused, not
+        rebuilt (the old runtime cleared it and rebuilt)."""
+        import repro.core.codegen.runtime_support as rs
+        from repro.windowing.sliding import RangeAggregator
+
+        builds = []
+
+        class CountingAggregator(RangeAggregator):
+            def __init__(self, buf, agg):
+                builds.append(agg.name)
+                super().__init__(buf, agg)
+
+        monkeypatch.setattr(rs, "RangeAggregator", CountingAggregator)
+        program = source("stock").window(10, 1).aggregate(MEAN).to_program()
+        compiled = compile_program(program)
+        rt = compiled.kernels[0].runtime
+        stream = EventStream.from_samples([float(i) for i in range(60)], period=1.0)
+        env_a = {"stock": ssbuf_from_stream(stream)}
+        env_b = {"stock": ssbuf_from_stream(stream).slice(10.0, 50.0)}
+
+        ts = rt.eval_times(env_a, 0.0, 50.0)          # partition A starts
+        run_cache = {}
+        rt.reduce(env_a, "stock", -10.0, 0.0, 0, -1, ts, run_cache)
+        assert len(builds) == 1
+        rt.eval_times(env_b, 10.0, 50.0)              # partition B starts mid-run
+        rt.reduce(env_a, "stock", -5.0, 0.0, 0, -1, ts, run_cache)
+        assert len(builds) == 1, "concurrent eval_times invalidated a live run cache"
+
+    def test_concurrent_elem_mapped_runs_byte_identical_to_serial(self):
+        """Many threads hammer one compiled elem-mapped reduce query over
+        multi-partition runs with distinct data; every output must be
+        byte-identical to the serial run over the same data."""
+        program = self._elem_mapped_program()
+        datasets = []
+        for i in range(N_THREADS):
+            stream = EventStream.from_samples(
+                [float(((i + 1) * 37 + j * 7) % 101) for j in range(300)],
+                period=1.0,
+                name="stock",
+            )
+            datasets.append({"stock": stream})
+        with TiltEngine(workers=1) as serial:
+            references = [serial.run(program, d).output for d in datasets]
+
+        engine = TiltEngine(workers=2, partitions_per_worker=4)
+        compiled = engine.compile(program)
+        rounds = 5
+        failures = []
+        errors = []
+        barrier = threading.Barrier(N_THREADS)
+
+        def worker(i):
+            try:
+                barrier.wait()
+                for _ in range(rounds):
+                    out = engine.run(compiled, datasets[i]).output
+                    if out != references[i]:
+                        failures.append(i)
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append((i, exc))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        engine.close()
+        assert not errors, errors
+        assert not failures, f"threads {failures} produced non-serial output"
 
 
 class TestEngineCloseWithOpenSessions:

@@ -174,6 +174,8 @@ class TestTiltEngine:
             TiltEngine(workers=0)
         with pytest.raises(QueryBuildError):
             TiltEngine().run("not a program", {})
+        with pytest.raises(QueryBuildError):
+            TiltEngine(compile_cache_size=0)
 
     def test_empty_stream(self):
         empty = EventStream([], name="stock")
@@ -185,3 +187,45 @@ class TestTiltEngine:
         result = TiltEngine().run(program, {"stock": random_walk_stream}, t_start=50.0, t_end=100.0)
         assert result.output.num_valid() <= 51
         assert result.output.end_time <= 100.0
+
+
+class TestCompileCacheLRU:
+    """The per-engine compile cache is bounded: a long-lived engine that
+    compiles many distinct programs must not retain them all forever."""
+
+    def test_hit_semantics_preserved(self):
+        engine = TiltEngine(compile_cache_size=4)
+        program = trend_query().to_program()
+        first = engine.compile_cached(program)
+        assert engine.compile_cached(program) is first
+        engine.close()
+
+    def test_eviction_releases_programs(self):
+        import gc
+        import weakref
+
+        engine = TiltEngine(compile_cache_size=2)
+        programs = [trend_query().to_program() for _ in range(3)]
+        refs = [weakref.ref(p) for p in programs]
+        compiled_first = engine.compile_cached(programs[0])
+        for p in programs[1:]:
+            engine.compile_cached(p)
+        # the first (least recently used) program was evicted; dropping our
+        # reference must actually free it
+        del programs[0], compiled_first
+        gc.collect()
+        assert refs[0]() is None, "evicted program still strongly referenced"
+        assert refs[1]() is not None and refs[2]() is not None
+        engine.close()
+
+    def test_recently_used_entry_survives_eviction(self):
+        engine = TiltEngine(compile_cache_size=2)
+        a = trend_query().to_program()
+        b = trend_query().to_program()
+        c = trend_query().to_program()
+        compiled_a = engine.compile_cached(a)
+        engine.compile_cached(b)
+        assert engine.compile_cached(a) is compiled_a  # refresh a (evicts b next)
+        engine.compile_cached(c)
+        assert engine.compile_cached(a) is compiled_a  # still cached
+        engine.close()
