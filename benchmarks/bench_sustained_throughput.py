@@ -22,17 +22,33 @@ or under pytest (one quick configuration)::
 from __future__ import annotations
 
 import argparse
+import time
 from typing import Dict, List
 
+import numpy as np
+
 from repro.apps import YSB
+from repro.core.ir import IRBuilder
 from repro.core.runtime.engine import TiltEngine
+from repro.core.runtime.stream import EventStream
 from repro.datagen import GeneratorSource, ysb_stream
+from repro.windowing import MEAN
 
 WORKER_SWEEP = [1, 2, 4]
 TICK_EVENT_SWEEP = [1_000, 5_000, 20_000]
 CHUNK_EVENTS = 20_000
 WARMUP_TICKS = 3
 MEASURED_TICKS = 12
+
+# --- incremental lookback sweep -------------------------------------------
+# window depth in *events*; the event period converts it to seconds.  Depths
+# start where the O(depth) recompute term overtakes the fixed per-tick cost
+# (ingest, grid, emission — a few ms) that both modes share.
+LOOKBACK_SWEEP = [10_000, 40_000, 160_000, 640_000]
+LOOKBACK_PERIOD = 0.01
+LOOKBACK_TICK_EVENTS = 1_000
+LOOKBACK_WARMUP_POLL = 50_000
+LOOKBACK_MEASURED_TICKS = 15
 
 
 def ysb_sources(events_per_tick: int) -> List[GeneratorSource]:
@@ -102,6 +118,86 @@ def run_sweep(worker_sweep=WORKER_SWEEP, tick_sweep=TICK_EVENT_SWEEP) -> List[Di
     return rows
 
 
+def _lookback_program(depth_events: int):
+    b = IRBuilder()
+    x = b.stream("x")
+    window = x.window(-depth_events * LOOKBACK_PERIOD, 0.0)
+    b.define("out", window.reduce(MEAN), precision=LOOKBACK_PERIOD)
+    return b.build(output="out")
+
+
+def _lookback_source(events_per_tick: int) -> GeneratorSource:
+    def chunk(i: int) -> EventStream:
+        rng = np.random.default_rng(1_000 + i)
+        return EventStream.from_samples(
+            rng.uniform(0.5, 2.0, CHUNK_EVENTS), period=LOOKBACK_PERIOD, name="x"
+        )
+
+    return GeneratorSource(chunk, name="x", events_per_poll=events_per_tick)
+
+
+def measure_lookback(
+    depth_events: int,
+    incremental: bool,
+    *,
+    events_per_tick: int = LOOKBACK_TICK_EVENTS,
+    measured_ticks: int = LOOKBACK_MEASURED_TICKS,
+) -> Dict[str, float]:
+    """Median tick latency at one window depth, incremental or recompute.
+
+    Warmup ingests in large polls until the carry-over covers the full
+    lookback (so full recompute pays its real O(depth) cost without the
+    warmup itself taking O(depth²)), then each measured tick pulls the
+    steady-state micro-batch and is individually wall-clocked; the median
+    filters allocator/GC noise.
+    """
+    engine = TiltEngine(workers=1, incremental=incremental)
+    try:
+        session = engine.open_session(
+            _lookback_program(depth_events),
+            [_lookback_source(LOOKBACK_WARMUP_POLL)],
+            retain_output=False,
+        )
+        ingested = 0
+        while ingested < depth_events + LOOKBACK_WARMUP_POLL:
+            session.tick()
+            ingested += LOOKBACK_WARMUP_POLL
+        samples = []
+        for _ in range(measured_ticks):
+            start = time.perf_counter()
+            session.tick(max_events=events_per_tick)
+            samples.append(time.perf_counter() - start)
+        return {
+            "depth_events": float(depth_events),
+            "incremental": float(incremental),
+            "tick_p50_ms": float(np.median(samples)) * 1e3,
+            "events_per_second": events_per_tick / float(np.median(samples)),
+            "retained_snapshots": float(session.retained_snapshots()),
+        }
+    finally:
+        engine.close()
+
+
+def run_lookback_sweep(depth_sweep=LOOKBACK_SWEEP) -> List[Dict[str, float]]:
+    """Tick cost vs. window depth: full recompute degrades with the lookback
+    while incremental execution stays flat at O(events per tick)."""
+    rows = []
+    print(
+        f"{'depth (events)':>14} {'recompute p50 (ms)':>19} "
+        f"{'incremental p50 (ms)':>21} {'speedup':>8}"
+    )
+    for depth in depth_sweep:
+        full = measure_lookback(depth, incremental=False)
+        inc = measure_lookback(depth, incremental=True)
+        rows.extend([full, inc])
+        print(
+            f"{depth:>14,d} {full['tick_p50_ms']:>19.3f} "
+            f"{inc['tick_p50_ms']:>21.3f} "
+            f"{full['tick_p50_ms'] / inc['tick_p50_ms']:>7.1f}x"
+        )
+    return rows
+
+
 def test_sustained_throughput_smoke():
     """Quick CI-sized configuration: two worker counts, one tick size."""
     rows = [measure_steady_state(w, 5_000, warmup_ticks=1, measured_ticks=3) for w in (1, 2)]
@@ -115,15 +211,37 @@ def test_sustained_throughput_smoke():
         )
 
 
+def test_incremental_lookback_smoke():
+    """CI-sized lookback point: incremental must not be slower than full
+    recompute once the window is a few ticks deep."""
+    full = measure_lookback(600, incremental=False, events_per_tick=200, measured_ticks=4)
+    inc = measure_lookback(600, incremental=True, events_per_tick=200, measured_ticks=4)
+    assert inc["tick_p50_ms"] > 0 and full["tick_p50_ms"] > 0
+    print(
+        f"\n[sustained/lookback] depth=600: recompute {full['tick_p50_ms']:.2f} ms, "
+        f"incremental {inc['tick_p50_ms']:.2f} ms per tick"
+    )
+
+
 def main() -> None:
     import benchutil
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workers", type=int, nargs="*", default=WORKER_SWEEP)
     parser.add_argument("--tick-events", type=int, nargs="*", default=TICK_EVENT_SWEEP)
+    parser.add_argument(
+        "--lookback-sweep",
+        action="store_true",
+        help="also sweep window depth: incremental vs. full-recompute tick cost",
+    )
+    parser.add_argument(
+        "--depths", type=int, nargs="*", default=LOOKBACK_SWEEP,
+        help="window depths (in events) for --lookback-sweep",
+    )
     benchutil.add_json_option(parser)
     args = parser.parse_args()
     rows = run_sweep(args.workers, args.tick_events)
+    lookback_rows = run_lookback_sweep(args.depths) if args.lookback_sweep else []
     if args.json:
         for row in rows:
             benchutil.record_result(
@@ -137,6 +255,16 @@ def main() -> None:
                     "p50": row["tick_p50_ms"] / 1e3,
                     "p99": row["tick_p99_ms"] / 1e3,
                 },
+            )
+        for row in lookback_rows:
+            benchutil.record_result(
+                "sustained/lookback",
+                params={
+                    "depth_events": int(row["depth_events"]),
+                    "mode": "incremental" if row["incremental"] else "recompute",
+                },
+                events_per_sec=row["events_per_second"],
+                latency_percentiles={"p50": row["tick_p50_ms"] / 1e3},
             )
         benchutil.write_json(args.json)
 

@@ -114,9 +114,21 @@ class CompiledKernel:
     def source(self) -> str:
         return self.spec.source
 
-    def run(self, env: Mapping[str, SSBuf], t_start: float, t_end: float) -> SSBuf:
-        """Execute the kernel over ``(t_start, t_end]``."""
-        return self._function(env, t_start, t_end, self.runtime)
+    def run(
+        self,
+        env: Mapping[str, SSBuf],
+        t_start: float,
+        t_end: float,
+        runtime: Optional[KernelRuntime] = None,
+    ) -> SSBuf:
+        """Execute the kernel over ``(t_start, t_end]``.
+
+        ``runtime`` substitutes a caller-owned runtime for the kernel's
+        shared immutable one — incremental sessions pass their private
+        :class:`~repro.core.codegen.incremental.IncrementalKernelRuntime`
+        here so reductions hit persistent per-session state.
+        """
+        return self._function(env, t_start, t_end, runtime if runtime is not None else self.runtime)
 
 
 @dataclass

@@ -80,6 +80,13 @@ class KernelSpec:
     aggregates: List[AggregateFunction]
     accesses: Dict[str, AccessPattern]
     referenced: List[str]
+    #: incremental-state descriptor: one entry per ``rt.reduce`` call site in
+    #: the generated source, as ``(ref, start_offset, end_offset, agg_idx,
+    #: elem_idx)``.  Derived from the same compilation pass that emits the
+    #: call, so it is exactly the set of reductions an incremental session
+    #: must carry state for.  Not part of :meth:`digest` — it is fully
+    #: determined by ``source`` (every entry mirrors an emitted call).
+    reduce_sites: List[Tuple[str, float, float, int, int]] = field(default_factory=list)
 
     def describe(self) -> str:
         """Generated source plus element maps — for logging and golden tests."""
@@ -118,6 +125,26 @@ class KernelSpec:
         for agg in self.aggregates:
             h.update(pickle.dumps(agg, protocol=4))
         return h.hexdigest()
+
+    def incremental_plan(self, input_refs) -> Dict[Tuple[str, float, float, int, int], str]:
+        """Incremental strategy per reduction site, for introspection.
+
+        Maps each entry of :attr:`reduce_sites` to the strategy an
+        incremental session uses for it (``'prefix'``,
+        ``'subtract-on-evict'``, ``'two-stacks'``, ``'refold'``) — or
+        ``'full-recompute'`` for reductions over intermediate expressions,
+        which stay on the per-invocation path.
+        """
+        from .incremental import site_strategy
+
+        inputs = frozenset(input_refs)
+        plan = {}
+        for ref, so, eo, agg_idx, elem_idx in self.reduce_sites:
+            if ref in inputs:
+                plan[(ref, so, eo, agg_idx, elem_idx)] = site_strategy(self.aggregates[agg_idx])
+            else:
+                plan[(ref, so, eo, agg_idx, elem_idx)] = "full-recompute"
+        return plan
 
 
 class _Emitter:
@@ -255,6 +282,9 @@ class _ExprCompiler:
         agg_idx = self.kernel.register_aggregate(expr.agg)
         elem_idx = self.kernel.register_element(expr.element) if expr.element is not None else -1
         window = expr.window
+        self.kernel.reduce_sites.append(
+            (window.ref, float(window.start_offset), float(window.end_offset), agg_idx, elem_idx)
+        )
         v, k = self.emitter.fresh()
         self.emitter.emit(
             f"{v}, {k} = rt.reduce(env, {window.ref!r}, {window.start_offset!r}, "
@@ -270,6 +300,7 @@ class _KernelBuilder:
         self.te = te
         self.aggregates: List[AggregateFunction] = []
         self.element_sources: List[str] = []
+        self.reduce_sites: List[Tuple[str, float, float, int, int]] = []
 
     def register_aggregate(self, agg: AggregateFunction) -> int:
         for i, existing in enumerate(self.aggregates):
@@ -340,6 +371,7 @@ class _KernelBuilder:
             aggregates=list(self.aggregates),
             accesses=accesses,
             referenced=list(accesses.keys()),
+            reduce_sites=list(self.reduce_sites),
         )
 
 

@@ -99,6 +99,17 @@ class TiltEngine:
     optimize / enable_fusion:
         Control the optimizer pipeline (see
         :func:`repro.core.codegen.compile_program`).
+    incremental:
+        Default for sessions opened on this engine: persist per-kernel
+        window state across ticks so tick cost is O(new events) instead of
+        O(lookback + new events) (see
+        :mod:`repro.core.codegen.incremental`).  ``None`` (default) resolves
+        to the ``REPRO_INCREMENTAL`` environment variable (truthy values:
+        ``1/true/yes/on`` — how the CI matrix runs the whole suite
+        incrementally), else ``False``, preserving the full-recompute path
+        as the reference implementation.  Sessions can override per-session
+        via ``open_session(..., incremental=...)``; one-shot ``run`` calls
+        are unaffected.
     compile_cache_size:
         Bound on the per-engine compile cache (LRU eviction).  A long-lived
         engine serving many distinct programs — the multi-tenant service —
@@ -116,6 +127,7 @@ class TiltEngine:
         executor_kind: Optional[str] = None,
         optimize: bool = True,
         enable_fusion: bool = True,
+        incremental: Optional[bool] = None,
         compile_cache_size: int = 32,
     ):
         if mode not in ("compiled", "interpreted"):
@@ -128,6 +140,13 @@ class TiltEngine:
             raise QueryBuildError(
                 f"unknown executor kind {executor_kind!r} (expected one of {EXECUTOR_KINDS})"
             )
+        if incremental is None:
+            incremental = os.environ.get("REPRO_INCREMENTAL", "").strip().lower() in (
+                "1",
+                "true",
+                "yes",
+                "on",
+            )
         if compile_cache_size < 1:
             raise QueryBuildError("compile_cache_size must be >= 1")
         self.workers = int(workers)
@@ -137,6 +156,7 @@ class TiltEngine:
         self.executor_kind = executor_kind
         self.optimize = optimize
         self.enable_fusion = enable_fusion
+        self.incremental = bool(incremental)
         self.compile_cache_size = int(compile_cache_size)
         # shared across run() calls and all sessions of this engine: one
         # worker pool and one CompiledQuery per program (see open_session).

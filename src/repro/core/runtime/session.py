@@ -52,10 +52,11 @@ import numpy as np
 
 from ...errors import ExecutionError, OverlappingEventsError, QueryBuildError
 from ..codegen.compiled import CompiledQuery
+from ..codegen.incremental import SessionStateStore
 from ..ir.nodes import TiltProgram
 from ..lineage.boundary import resolve_boundaries
 from .engine import QueryResult, TiltEngine
-from .ssbuf import SSBuf
+from .ssbuf import SSBuf, _ssbuf_from_arrays
 from .stream import Event
 
 __all__ = ["TickResult", "StreamingSession"]
@@ -75,16 +76,42 @@ class _IngestColumn:
     ``anchor`` is the materialized buffer's ``start_time``; pruning advances
     it (see :meth:`prune`), matching ``SSBuf.slice``'s clamping semantics so
     partition slices taken from the pruned buffer are unchanged.
+
+    Storage is a trio of geometrically grown arrays with a lazily advanced
+    live-prefix index: appending a tick's events, materializing the buffer
+    (a zero-copy view) and pruning the dead head are all O(new events) per
+    tick — O(live) only when the amortized compaction fires.  Keeping every
+    per-tick column operation off the O(retained) path is what lets
+    incremental sessions achieve lookback-independent tick cost.
     """
 
-    __slots__ = ("name", "field", "anchor", "prev_end", "_chunks", "_cache")
+    __slots__ = (
+        "name",
+        "field",
+        "anchor",
+        "prev_end",
+        "_times",
+        "_values",
+        "_valid",
+        "_n",
+        "_lo",
+        "_cache",
+    )
+
+    #: dead-head entries are compacted away only once they outnumber the
+    #: live tail and exceed this count
+    _COMPACT_MIN_DEAD = 4096
 
     def __init__(self, name: str, field: Optional[str] = None):
         self.name = name
         self.field = field
         self.anchor: Optional[float] = None
         self.prev_end: Optional[float] = None
-        self._chunks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._times = np.empty(0, dtype=np.float64)
+        self._values = np.empty(0, dtype=np.float64)
+        self._valid = np.empty(0, dtype=bool)
+        self._n = 0
+        self._lo = 0
         self._cache: Optional[SSBuf] = None
 
     @property
@@ -94,76 +121,112 @@ class _IngestColumn:
     def extend(self, events: Sequence[Event]) -> None:
         if not events:
             return
-        times: List[float] = []
-        values: List[float] = []
-        valid: List[bool] = []
+        if self.field is not None:
+            f = self.field
+            vals = np.asarray([e.field(f) for e in events], dtype=np.float64)
+        else:
+            vals = np.asarray([e.value() for e in events], dtype=np.float64)
+        starts = np.asarray([e.start for e in events], dtype=np.float64)
+        ends = np.asarray([e.end for e in events], dtype=np.float64)
         prev_end = self.prev_end
-        for e in events:
-            value = e.field(self.field) if self.field is not None else e.value()
-            if prev_end is None:
-                # auto-derived start, matching from_events: the first
-                # snapshot interval is empty, values before it are φ
-                self.anchor = e.start
-                prev_end = e.start
-            if e.start < prev_end:
-                raise OverlappingEventsError(
-                    f"input {self.name!r}: event starting at {e.start:g} overlaps or "
-                    f"precedes ingested data ending at {prev_end:g}; sessions require "
-                    "in-order, non-overlapping arrival"
-                )
-            if e.start > prev_end:
-                times.append(e.start)
-                values.append(0.0)
-                valid.append(False)
-            times.append(e.end)
-            values.append(value)
-            valid.append(True)
-            prev_end = e.end
-        self.prev_end = prev_end
-        self._chunks.append(
-            (
-                np.asarray(times, dtype=np.float64),
-                np.asarray(values, dtype=np.float64),
-                np.asarray(valid, dtype=bool),
+        first_anchor = None
+        if prev_end is None:
+            # auto-derived start, matching from_events: the first
+            # snapshot interval is empty, values before it are φ
+            first_anchor = float(starts[0])
+            prev_end = first_anchor
+        prev_ends = np.empty(len(ends))
+        prev_ends[0] = prev_end
+        prev_ends[1:] = ends[:-1]
+        overlap = starts < prev_ends
+        if np.any(overlap):
+            i = int(np.argmax(overlap))
+            raise OverlappingEventsError(
+                f"input {self.name!r}: event starting at {starts[i]:g} overlaps or "
+                f"precedes ingested data ending at {prev_ends[i]:g}; sessions require "
+                "in-order, non-overlapping arrival"
             )
-        )
+        if first_anchor is not None:
+            self.anchor = first_anchor
+        # one snapshot per event end, plus a φ snapshot at each gap start
+        gaps = starts > prev_ends
+        m = len(events) + int(np.count_nonzero(gaps))
+        times = np.empty(m)
+        values = np.empty(m)
+        valid = np.empty(m, dtype=bool)
+        pos = np.arange(len(events)) + np.cumsum(gaps)
+        times[pos] = ends
+        values[pos] = vals
+        valid[pos] = True
+        gap_pos = pos[gaps] - 1
+        times[gap_pos] = starts[gaps]
+        values[gap_pos] = 0.0
+        valid[gap_pos] = False
+        self.prev_end = float(ends[-1])
+        self._append(times, values, valid)
         self._cache = None
 
+    def _append(self, times: np.ndarray, values: np.ndarray, valid: np.ndarray) -> None:
+        m = len(times)
+        if self._n + m > len(self._times):
+            cap = max(64, 2 * len(self._times), self._n + m)
+            for attr in ("_times", "_values", "_valid"):
+                old = getattr(self, attr)
+                grown = np.empty(cap, dtype=old.dtype)
+                grown[: self._n] = old[: self._n]
+                setattr(self, attr, grown)
+        self._times[self._n : self._n + m] = times
+        self._values[self._n : self._n + m] = values
+        self._valid[self._n : self._n + m] = valid
+        self._n += m
+
     def materialize(self) -> SSBuf:
-        """The retained tail of this input as a snapshot buffer."""
+        """The retained tail of this input as a snapshot buffer.
+
+        A validated-by-construction view over the live window of the
+        column's arrays — no copy.  The view stays stable for the duration
+        of a tick (appends land beyond it; compaction only happens in
+        :meth:`prune`, which also drops the cache).
+        """
         if self._cache is None:
-            anchor = 0.0 if self.anchor is None else self.anchor
-            if not self._chunks:
+            anchor = 0.0 if self.anchor is None else float(self.anchor)
+            if self._n == self._lo:
                 self._cache = SSBuf.empty(anchor)
             else:
-                self._cache = SSBuf(
-                    np.concatenate([c[0] for c in self._chunks]),
-                    np.concatenate([c[1] for c in self._chunks]),
-                    np.concatenate([c[2] for c in self._chunks]),
-                    start_time=anchor,
+                self._cache = _ssbuf_from_arrays(
+                    self._times[self._lo : self._n],
+                    self._values[self._lo : self._n],
+                    self._valid[self._lo : self._n],
+                    anchor,
                 )
         return self._cache
 
     def prune(self, t: float) -> None:
         """Drop snapshots at or before ``t`` (they can never be read again).
 
-        Uses ``SSBuf.slice`` so a snapshot spanning ``t`` is kept whole and
-        the buffer's ``start_time`` advances to ``t`` — any later
+        Matches ``SSBuf.slice`` semantics: a snapshot spanning ``t`` is kept
+        whole and the buffer's ``start_time`` advances to ``t`` — any later
         ``slice(in_lo, in_hi)`` with ``in_lo >= t`` is byte-identical to the
-        same slice of the unpruned buffer.
+        same slice of the unpruned buffer.  The dead head is dropped lazily
+        (amortized compaction), keeping per-tick pruning O(log retained).
         """
-        buf = self.materialize()
-        if t <= buf.start_time:
+        if t <= (self.anchor if self.anchor is not None else 0.0):
             return
-        pruned = SSBuf.empty(t) if buf.end_time <= t else buf.slice(t, buf.end_time)
-        self._chunks = (
-            [(pruned.times, pruned.values, pruned.valid)] if len(pruned) else []
+        self._lo += int(
+            np.searchsorted(self._times[self._lo : self._n], t, side="right")
         )
-        self.anchor = pruned.start_time
-        self._cache = pruned
+        self.anchor = t
+        self._cache = None
+        if self._lo >= self._COMPACT_MIN_DEAD and 2 * self._lo >= self._n:
+            live = self._n - self._lo
+            for attr in ("_times", "_values", "_valid"):
+                arr = getattr(self, attr)
+                arr[:live] = arr[self._lo : self._n].copy()
+            self._n = live
+            self._lo = 0
 
     def retained_snapshots(self) -> int:
-        return sum(len(c[0]) for c in self._chunks)
+        return self._n - self._lo
 
 
 @dataclass
@@ -228,6 +291,13 @@ class StreamingSession:
         Keep every emitted delta so :meth:`result` can assemble the full
         output buffer.  Turn off for indefinitely running sessions, where
         only the per-tick deltas and live metrics are wanted.
+    incremental:
+        Persist per-kernel window state across ticks (see
+        :mod:`repro.core.codegen.incremental`) so tick cost is O(new
+        events) instead of O(lookback + new events).  ``None`` (default)
+        inherits the engine's ``incremental`` setting (env override
+        ``REPRO_INCREMENTAL``).  Interpreted-mode sessions silently fall
+        back to full recompute — the reference path is always available.
     """
 
     def __init__(
@@ -239,11 +309,18 @@ class StreamingSession:
         max_events_per_tick: Optional[int] = None,
         t_start: Optional[float] = None,
         retain_output: bool = True,
+        incremental: Optional[bool] = None,
     ):
         self._engine = engine
         program, compiled = engine._prepare(query)
         self._program = program
         self._compiled = compiled
+        if incremental is None:
+            incremental = engine.incremental
+        self._state_store: Optional[SessionStateStore] = (
+            SessionStateStore(compiled) if incremental and compiled is not None else None
+        )
+        self._pins: List[float] = []
         self._boundary = (
             compiled.boundary if compiled is not None else resolve_boundaries(program)
         )
@@ -325,9 +402,19 @@ class StreamingSession:
     def ticks(self) -> int:
         return self._ticks
 
+    @property
+    def incremental(self) -> bool:
+        """True when this session persists per-kernel window state."""
+        return self._state_store is not None
+
     def retained_snapshots(self) -> int:
         """Total input snapshots currently held as carry-over state."""
         return sum(col.retained_snapshots() for col in self._columns.values())
+
+    def state_snapshots(self) -> int:
+        """Snapshots retained inside incremental kernel state (0 when the
+        session runs the full-recompute path)."""
+        return 0 if self._state_store is None else self._state_store.retained_snapshots()
 
     @property
     def exhausted(self) -> bool:
@@ -389,6 +476,63 @@ class StreamingSession:
         Idempotent: aborting a closed session is a no-op.
         """
         self._closed = True
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / rewind
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> float:
+        """Pin the current watermark so :meth:`rewind` can replay from it.
+
+        While a pin is active, carry-over pruning retains input back to
+        ``pin - max_lookback`` (see :meth:`_prune_floor`) — without the pin
+        that input would be discarded as dead and a later rewind could not
+        reproduce the batch-identical output.  Returns the pinned watermark,
+        which doubles as the rewind token.  Pins stack: checkpoint twice,
+        release once, and the other pin still holds.
+        """
+        if self._closed:
+            raise ExecutionError("session is closed")
+        if self._t_emit is None:
+            raise ExecutionError("nothing emitted yet; there is no watermark to pin")
+        token = float(self._t_emit)
+        self._pins.append(token)
+        return token
+
+    def release(self, token: float) -> None:
+        """Drop one checkpoint pin, letting pruning advance past it again."""
+        try:
+            self._pins.remove(token)
+        except ValueError:
+            raise ExecutionError(f"no active checkpoint at watermark {token:g}")
+
+    def rewind(self, token: float) -> None:
+        """Roll the session back to a pinned watermark and replay from there.
+
+        Emitted deltas beyond ``token`` are discarded (a delta straddling it
+        is clipped; the clip duplicates the value the replayed output holds
+        at ``token`` and is canonically removed by ``compact``), the
+        watermark drops to ``token``, and — in incremental mode — all
+        persistent kernel state is cleared so the next tick re-ingests from
+        the retained carry-over.  The pin stays active until released.
+        """
+        if self._closed:
+            raise ExecutionError("session is closed")
+        if token not in self._pins:
+            raise ExecutionError(f"no active checkpoint at watermark {token:g}")
+        kept: List[SSBuf] = []
+        for d in self._deltas:
+            if d.start_time >= token:
+                continue
+            if d.end_time <= token:
+                kept.append(d)
+                continue
+            clipped = d.slice(d.start_time, token)
+            if len(clipped):
+                kept.append(clipped)
+        self._deltas = kept
+        self._t_emit = token
+        if self._state_store is not None:
+            self._state_store.clear()
 
     def run_to_exhaustion(self, max_ticks: Optional[int] = None) -> List[TickResult]:
         """Tick until every (finite) source is exhausted, then close.
@@ -473,16 +617,25 @@ class StreamingSession:
             return (self._t_emit, self._t_emit, SSBuf.empty(self._t_emit), 0)
 
         inputs = {name: col.materialize() for name, col in self._columns.items()}
-        partitions = self._engine._partition(
-            inputs, self._boundary, self._t_emit, w, self._alignment
-        )
-        # single dispatch point shared with TiltEngine.run: picks the
-        # engine's worker pool, ships picklable compiled queries to the
-        # process backend, and falls back to threads otherwise.
-        pieces = self._engine._map_partitions(
-            self._compiled, self._program, self._boundary, partitions
-        )
-        delta = SSBuf.concat(pieces).compact() if pieces else SSBuf.empty(self._t_emit)
+        if self._state_store is not None:
+            # incremental path: one in-process evaluation of (t_emit, w]
+            # against persistent per-kernel state — no partitioner, no
+            # executor, no O(lookback) index rebuilds.
+            piece = self._run_incremental(inputs, self._t_emit, w)
+            delta = SSBuf.concat([piece]).compact() if len(piece) else SSBuf.empty(self._t_emit)
+            num_partitions = 1
+        else:
+            partitions = self._engine._partition(
+                inputs, self._boundary, self._t_emit, w, self._alignment
+            )
+            # single dispatch point shared with TiltEngine.run: picks the
+            # engine's worker pool, ships picklable compiled queries to the
+            # process backend, and falls back to threads otherwise.
+            pieces = self._engine._map_partitions(
+                self._compiled, self._program, self._boundary, partitions
+            )
+            delta = SSBuf.concat(pieces).compact() if pieces else SSBuf.empty(self._t_emit)
+            num_partitions = len(partitions)
         t_lo = self._t_emit
         # retain the delta *before* advancing the watermark: a concurrent
         # reader of result() then sees at worst a one-tick-stale output,
@@ -493,11 +646,74 @@ class StreamingSession:
         self._t_emit = w
         self._emitted_any = True
         # carry-over: every future partition reads input no earlier than
-        # (new watermark - max lookback); older snapshots are dead.
-        prune_to = w - self._boundary.max_lookback
+        # (new watermark - max lookback); older snapshots are dead — unless
+        # a checkpoint pin or an incremental site's ingest horizon still
+        # needs them (see _prune_floor).
+        prune_to = self._prune_floor(w)
         for col in self._columns.values():
             col.prune(prune_to)
-        return (t_lo, w, delta, len(partitions))
+        if self._state_store is not None:
+            self._state_store.prune(prune_to)
+        return (t_lo, w, delta, num_partitions)
+
+    def _prune_floor(self, w: float) -> float:
+        """Oldest input time the carry-over must retain after emitting ``w``.
+
+        The naive rule ``w - max_lookback`` is correct only for stateless
+        full-recompute sessions.  Two things can hold input alive longer:
+
+        * an active checkpoint pin (a :meth:`rewind` may re-emit from the
+          pinned watermark, whose partitions read back to
+          ``pin - max_lookback``);
+        * incremental kernel state whose ingest horizon trails the
+          watermark — input newer than a site's ``ingested_through`` has not
+          been consumed into any persistent index yet, so discarding it
+          would silently corrupt every later window crossing the gap.
+        """
+        floor = w
+        if self._pins:
+            floor = min(floor, min(self._pins))
+        floor -= self._boundary.max_lookback
+        if self._state_store is not None:
+            floor = min(floor, self._state_store.ingested_floor())
+        return floor
+
+    def _run_incremental(self, inputs: Dict[str, SSBuf], t_start: float, t_end: float) -> SSBuf:
+        """Evaluate ``(t_start, t_end]`` against the persistent state store.
+
+        The output kernel runs over the *unsliced* carry-over buffers with a
+        session-private :class:`IncrementalKernelRuntime`, so its reductions
+        over program inputs extend persistent indices by exactly the new
+        tail (the buffers must be unsliced: sites may only ever ingest true
+        input snapshots, never slice-clipped phantoms).  In an unfused query
+        the intermediate kernels are rebuilt each tick over their margin
+        window from margin slices of the inputs — byte-identical to the
+        single-partition batch materialization — so flat-in-lookback tick
+        cost requires the (default) fusion to a single kernel.
+        """
+        compiled = self._compiled
+        assert compiled is not None and self._state_store is not None
+        output = compiled.output
+        if len(compiled.kernels) == 1:
+            kernel = compiled.kernels[0]
+            return kernel.run(
+                inputs, t_start, t_end, runtime=self._state_store.runtime_for(kernel)
+            )
+        lookback = self._boundary.max_lookback
+        lookahead = self._boundary.max_lookahead
+        ienv: Dict[str, SSBuf] = {}
+        for name, buf in inputs.items():
+            in_lo, in_hi = self._boundary.input_interval(name, t_start, t_end)
+            ienv[name] = buf.slice(in_lo, in_hi)
+        env = dict(inputs)
+        for kernel in compiled.kernels:
+            if kernel.name == output:
+                continue
+            piece = kernel.run(ienv, t_start - lookback, t_end + lookahead)
+            ienv[kernel.name] = piece
+            env[kernel.name] = piece
+        kernel = compiled.kernel_named(output)
+        return kernel.run(env, t_start, t_end, runtime=self._state_store.runtime_for(kernel))
 
     def _finish_tick(
         self,

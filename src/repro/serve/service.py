@@ -316,6 +316,7 @@ class QueryService:
         deadline: Optional[float] = None,
         retain_output: bool = True,
         max_events_per_tick: Optional[int] = None,
+        incremental: Optional[bool] = None,
     ) -> str:
         """Admit a tenant query; returns its tenant name.
 
@@ -333,6 +334,11 @@ class QueryService:
         ``weight`` buys a proportionally larger share under the fair-share
         policy; ``deadline`` (seconds of wall-clock output staleness)
         escalates the tenant past the policy when overdue.
+
+        ``incremental`` selects per-tick execution for this tenant's
+        session — persistent per-kernel window state (O(new events) ticks)
+        versus full recompute; ``None`` defers to the engine's setting
+        (``REPRO_INCREMENTAL``).
         """
         if hasattr(query, "to_program"):
             query = query.to_program()
@@ -376,6 +382,7 @@ class QueryService:
                 list(sources),
                 retain_output=retain_output,
                 max_events_per_tick=max_events_per_tick,
+                incremental=incremental,
             )
         except BaseException:
             with self._lock:

@@ -1,0 +1,332 @@
+"""Differential equivalence harness for incremental tick execution.
+
+Incremental sessions (persistent per-kernel window state,
+:mod:`repro.core.codegen.incremental`) must be *byte-identical* — same
+timestamps, validity mask and start time, values equal to within
+floating-point reassociation (``SSBuf.__eq__``) — to both
+
+* the full-recompute session path over the same tick schedule, and
+* one one-shot ``TiltEngine.run`` over the complete input,
+
+across applications, aggregates, window parameters, ragged tick schedules
+(empty ticks, watermark stalls) and executor backends.  The full-recompute
+path is the reference implementation the incremental engine is diffed
+against; the batch run is the ground truth both descend from.
+
+Also covers the carry-over pruning interaction: checkpoint pins and
+incremental ingest horizons must hold input alive past the naive
+``w - max_lookback`` rule (a regression test demonstrates the naive prune
+corrupting a rewind-replay).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import get_application
+from repro.core.ir import IRBuilder
+from repro.core.runtime.engine import TiltEngine
+from repro.core.runtime.session import StreamingSession
+from repro.core.runtime.stream import EventStream
+from repro.datagen.sources import QueuedSource, sources_for_streams
+from repro.errors import ExecutionError
+from repro.windowing import MAX, MEAN, SUM
+from repro.windowing.functions import builtin_aggregates, custom_aggregate
+
+N_EVENTS = 2_500
+
+#: same application matrix as the core streaming-equivalence suite: scalar
+#: (trading, normalize) and structured (ysb, frauddet) inputs
+EQUIVALENCE_APPS = ["ysb", "frauddet", "normalize", "trading"]
+
+
+def run_session(engine, program, streams, tick_events, **kwargs):
+    sources = sources_for_streams(streams, events_per_poll=tick_events)
+    session = engine.open_session(program, sources, **kwargs)
+    session.run_to_exhaustion()
+    return session
+
+
+def lookback_program(agg, lookback=13.0, precision=1.0):
+    b = IRBuilder()
+    x = b.stream("x")
+    b.define("out", x.window(-lookback, 0.0).reduce(agg), precision=precision)
+    return b.build(output="out")
+
+
+def uniform_stream(n, seed, period=0.5, low=0.5, high=2.0):
+    rng = np.random.default_rng(seed)
+    return EventStream.from_samples(rng.uniform(low, high, n), period=period, name="x")
+
+
+class TestDifferentialEquivalence:
+    @pytest.mark.parametrize("app_name", EQUIVALENCE_APPS)
+    def test_incremental_matches_full_and_batch(self, app_name):
+        app = get_application(app_name)
+        streams = app.streams(N_EVENTS, seed=21)
+        engine = TiltEngine(workers=1)
+        batch = engine.run(app.program(), streams)
+        for tick_events in (171, 1024):
+            inc = run_session(engine, app.program(), streams, tick_events, incremental=True)
+            full = run_session(engine, app.program(), streams, tick_events, incremental=False)
+            assert inc.incremental and not full.incremental
+            assert inc.result().output == batch.output
+            assert full.result().output == batch.output
+            assert inc.result().output == full.result().output
+        engine.close()
+
+    @pytest.mark.parametrize("executor_kind", ["serial", "thread", "process"])
+    def test_executor_matrix(self, executor_kind):
+        """The engine's worker-pool backend must not perturb incremental
+        output: incremental ticks run in-process, batch/full paths use the
+        pool, and all three remain byte-identical."""
+        app = get_application("trading")
+        streams = app.streams(1_500, seed=22)
+        engine = TiltEngine(workers=2, executor_kind=executor_kind)
+        try:
+            batch = engine.run(app.program(), streams)
+            inc = run_session(engine, app.program(), streams, 137, incremental=True)
+            full = run_session(engine, app.program(), streams, 137, incremental=False)
+            assert inc.result().output == batch.output
+            assert full.result().output == batch.output
+        finally:
+            engine.close()
+
+    @pytest.mark.parametrize(
+        "agg", list(builtin_aggregates().values()), ids=lambda a: a.name
+    )
+    def test_every_builtin_aggregate(self, agg):
+        """Each built-in exercises its own incremental strategy (prefix
+        index, subtract-on-evict, two-stacks, refold)."""
+        program = lookback_program(agg)
+        stream = uniform_stream(800, seed=23)
+        engine = TiltEngine(workers=1)
+        batch = engine.run(program, {"x": stream})
+        inc = run_session(engine, program, {"x": stream}, 97, incremental=True)
+        assert inc.result().output == batch.output
+
+    def test_custom_invertible_aggregate(self):
+        """A user-defined aggregate with a deacc runs Subtract-on-Evict; its
+        spec has no content digest (lambda callables), exercising the
+        identity-keyed state-store fallback."""
+        csum = custom_aggregate(
+            "csum",
+            init=lambda: 0.0,
+            acc=lambda s, v: s + v,
+            result=lambda s: s,
+            deacc=lambda s, v: s - v,
+        )
+        program = lookback_program(csum, lookback=9.0)
+        stream = uniform_stream(700, seed=24)
+        engine = TiltEngine(workers=1)
+        batch = engine.run(program, {"x": stream})
+        inc = run_session(engine, program, {"x": stream}, 83, incremental=True)
+        assert inc.result().output == batch.output
+
+    def test_unfused_query_falls_back_per_kernel(self):
+        """Unfused queries keep intermediates on the per-tick rebuild path;
+        output must still match batch exactly."""
+        app = get_application("trading")
+        streams = app.streams(1_200, seed=25)
+        engine = TiltEngine(workers=1, enable_fusion=False)
+        compiled = engine.compile_cached(app.program())
+        assert len(compiled.kernels) > 1
+        batch = engine.run(compiled, streams)
+        inc = run_session(engine, compiled, streams, 149, incremental=True)
+        assert inc.result().output == batch.output
+
+    def test_interpreted_mode_silently_full_recompute(self):
+        app = get_application("wsum")
+        streams = app.streams(600, seed=26)
+        engine = TiltEngine(workers=1, mode="interpreted", incremental=True)
+        batch = engine.run(app.program(), streams)
+        session = run_session(engine, app.program(), streams, 90)
+        assert not session.incremental  # no compiled kernels to carry state for
+        assert session.result().output == batch.output
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        agg_name=st.sampled_from(sorted(builtin_aggregates())),
+        lookback=st.floats(min_value=1.0, max_value=60.0),
+        precision=st.sampled_from([0.5, 1.0, 2.0]),
+        ticks=st.lists(st.integers(min_value=0, max_value=400), min_size=1, max_size=10),
+    )
+    def test_random_windows_ragged_ticks(self, agg_name, lookback, precision, ticks):
+        """Property: random aggregate × window depth × precision × ragged
+        tick schedule (including zero-event ticks) reproduces the batch
+        output in both modes."""
+        agg = builtin_aggregates()[agg_name]
+        program = lookback_program(agg, lookback=lookback, precision=precision)
+        stream = uniform_stream(900, seed=27)
+        schedule = list(ticks) + [500]  # guarantee forward progress
+        engine = TiltEngine(workers=1)
+        batch = engine.run(program, {"x": stream})
+        for incremental in (True, False):
+            session = engine.open_session(
+                program, sources_for_streams({"x": stream}), incremental=incremental
+            )
+            i = 0
+            while not session.exhausted:
+                session.tick(max_events=schedule[i % len(schedule)])
+                i += 1
+            session.close()
+            assert session.result().output == batch.output
+
+    def test_watermark_stall_and_advance(self):
+        """A push-fed session that stalls (ticks with no new input, then an
+        explicit horizon advance) must emit exactly the batch output."""
+        app = get_application("trading")
+        streams = app.streams(800, seed=28)
+        engine = TiltEngine(workers=1)
+        batch = engine.run(app.program(), streams)
+        events = streams["stock"].events
+        for incremental in (True, False):
+            src = QueuedSource("stock", capacity=2_048)
+            session = engine.open_session(app.program(), [src], incremental=incremental)
+            src.push(events[:300])
+            session.tick()
+            session.tick()  # stall: nothing new arrived, watermark holds
+            src.advance_to(events[300].start)
+            session.tick()  # stall resolved by the explicit advance
+            src.push(events[300:])
+            session.tick()
+            src.close()
+            session.close()
+            assert session.result().output == batch.output
+
+
+class TestPruneStateInteraction:
+    """Carry-over pruning vs. checkpoint pins and incremental state horizons
+    (the ``max_lookback`` / kernel-state-horizon disagreement)."""
+
+    def _flow(self, engine, app, streams, **session_kwargs):
+        sources = sources_for_streams(streams, events_per_poll=150)
+        session = engine.open_session(app.program(), sources, **session_kwargs)
+        for _ in range(3):
+            session.tick()
+        token = session.checkpoint()
+        for _ in range(5):
+            session.tick()
+        session.rewind(token)
+        session.run_to_exhaustion()
+        return session
+
+    def test_checkpoint_rewind_replay_matches_batch(self):
+        app = get_application("trading")
+        streams = app.streams(1_800, seed=31)
+        engine = TiltEngine(workers=1)
+        batch = engine.run(app.program(), streams)
+        for incremental in (True, False):
+            session = self._flow(engine, app, streams, incremental=incremental)
+            assert session.result().output == batch.output
+
+    def test_naive_prune_corrupts_rewind_replay(self, monkeypatch):
+        """Regression: pruning straight to ``w - max_lookback`` — ignoring
+        checkpoint pins and incremental ingest horizons — discards input a
+        rewind-replay still needs, and the replayed output diverges from
+        batch.  This is the failure mode ``_prune_floor`` exists to prevent.
+        """
+        monkeypatch.setattr(
+            StreamingSession,
+            "_prune_floor",
+            lambda self, w: w - self._boundary.max_lookback,
+        )
+        app = get_application("trading")
+        streams = app.streams(1_800, seed=31)
+        engine = TiltEngine(workers=1)
+        batch = engine.run(app.program(), streams)
+        session = self._flow(engine, app, streams, incremental=True)
+        assert session.result().output != batch.output
+
+    def test_pin_holds_carry_over(self):
+        """An active pin visibly blocks pruning; releasing it lets the
+        retained tail shrink back to the lookback margin."""
+        app = get_application("trading")
+        streams = app.streams(1_500, seed=32)
+        engine = TiltEngine(workers=1)
+        sources = sources_for_streams(streams, events_per_poll=100)
+        session = engine.open_session(app.program(), sources, incremental=False)
+        session.tick()
+        token = session.checkpoint()
+        for _ in range(8):
+            session.tick()
+        pinned = session.retained_snapshots()
+        session.release(token)
+        session.tick()
+        assert session.retained_snapshots() < pinned
+        session.close()
+
+    def test_checkpoint_api_errors(self):
+        app = get_application("trading")
+        streams = app.streams(400, seed=33)
+        engine = TiltEngine(workers=1)
+        session = engine.open_session(
+            app.program(), sources_for_streams(streams, events_per_poll=100)
+        )
+        with pytest.raises(ExecutionError):
+            session.checkpoint()  # nothing emitted yet
+        with pytest.raises(ExecutionError):
+            session.rewind(0.0)
+        session.tick()
+        token = session.checkpoint()
+        session.release(token)
+        with pytest.raises(ExecutionError):
+            session.release(token)
+        session.close()
+        with pytest.raises(ExecutionError):
+            session.checkpoint()
+
+
+class TestServePassThrough:
+    def test_service_submit_incremental(self):
+        from repro.serve.service import QueryService
+
+        app = get_application("trading")
+        streams = app.streams(900, seed=34)
+        engine = TiltEngine(workers=1)
+        batch = engine.run(app.program(), streams)
+        service = QueryService(engine)
+        try:
+            name = service.submit(
+                app.program(),
+                sources=sources_for_streams(streams, events_per_poll=200),
+                incremental=True,
+            )
+            service.run_until_idle()
+            tenant_output = service.result(name).output
+            assert tenant_output == batch.output
+        finally:
+            service.close()
+
+
+class TestIncrementalInternals:
+    def test_state_survives_pruning(self):
+        """Persistent indexes keep answering deep-lookback windows even
+        after the input carry-over has been pruned and compacted."""
+        program = lookback_program(SUM, lookback=40.0, precision=1.0)
+        stream = uniform_stream(2_000, seed=35)
+        engine = TiltEngine(workers=1)
+        batch = engine.run(program, {"x": stream})
+        session = run_session(engine, program, {"x": stream}, 128, incremental=True)
+        assert session.state_snapshots() > 0
+        assert session.result().output == batch.output
+
+    def test_incremental_plan_introspection(self):
+        program = lookback_program(MAX)
+        engine = TiltEngine(workers=1)
+        compiled = engine.compile_cached(program)
+        spec = compiled.kernels[-1].spec
+        plan = spec.incremental_plan(compiled.program.inputs)
+        assert plan  # at least the one reduce site
+        assert set(plan.values()) <= {
+            "prefix",
+            "subtract-on-evict",
+            "two-stacks",
+            "refold",
+            "full-recompute",
+        }
+        assert any(v == "two-stacks" for v in plan.values())
+        mean_plan = engine.compile_cached(lookback_program(MEAN))
+        spec = mean_plan.kernels[-1].spec
+        assert "prefix" in spec.incremental_plan(mean_plan.program.inputs).values()
