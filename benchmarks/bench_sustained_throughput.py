@@ -10,6 +10,11 @@ sweep — smaller ticks bound result staleness but expose per-tick overheads —
 and the worker count exercises the same synchronization-free partition
 parallelism as Figure 8, applied within each tick.
 
+``--lookback-sweep`` adds the incremental-vs-recompute window-depth sweep,
+and ``--trace-overhead`` measures the cost of span tracing: steady-state
+ev/s with tracing off vs. on, plus the derived per-call-site cost of the
+disabled (no-op) path.
+
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_sustained_throughput.py
@@ -40,6 +45,14 @@ CHUNK_EVENTS = 20_000
 WARMUP_TICKS = 3
 MEASURED_TICKS = 12
 
+# --- trace overhead --------------------------------------------------------
+# one mid-sweep configuration measured with tracing off and on; interleaved
+# repetitions (best-of) filter out scheduler noise so the reported overhead
+# reflects the instrumentation, not the machine.
+TRACE_OVERHEAD_WORKERS = 2
+TRACE_OVERHEAD_TICK_EVENTS = 5_000
+TRACE_OVERHEAD_REPS = 3
+
 # --- incremental lookback sweep -------------------------------------------
 # window depth in *events*; the event period converts it to seconds.  Depths
 # start where the O(depth) recompute term overtakes the fixed per-tick cost
@@ -68,13 +81,17 @@ def measure_steady_state(
     *,
     warmup_ticks: int = WARMUP_TICKS,
     measured_ticks: int = MEASURED_TICKS,
+    trace: bool = None,
 ) -> Dict[str, float]:
     """Steady-state ingest rate of one session configuration.
 
     Warmup ticks populate the carry-over state and amortize one-time costs,
     then throughput is read from the rolling window over the measured ticks.
+    ``trace`` is forwarded to :class:`TiltEngine` (``None`` resolves from
+    ``REPRO_TRACE``, so the default sweep measures whatever the environment
+    asks for).
     """
-    engine = TiltEngine(workers=workers)
+    engine = TiltEngine(workers=workers, trace=trace)
     try:
         session = engine.open_session(
             YSB.program(), ysb_sources(events_per_tick), retain_output=False
@@ -87,6 +104,7 @@ def measure_steady_state(
             session.tick()
         events = session.metrics.input_events - baseline_events
         busy = session.metrics.busy_seconds - baseline_busy
+        spans = len(engine.tracer.snapshot()) if engine.tracer.enabled else 0
         return {
             "workers": float(workers),
             "events_per_tick": float(events_per_tick),
@@ -94,6 +112,7 @@ def measure_steady_state(
             "tick_p50_ms": session.metrics.latency.p50 * 1e3,
             "tick_p99_ms": session.metrics.latency.p99 * 1e3,
             "retained_snapshots": float(session.retained_snapshots()),
+            "spans_recorded": float(spans),
         }
     finally:
         engine.close()
@@ -116,6 +135,76 @@ def run_sweep(worker_sweep=WORKER_SWEEP, tick_sweep=TICK_EVENT_SWEEP) -> List[Di
                 f"{int(row['retained_snapshots']):>9d}"
             )
     return rows
+
+
+def run_trace_overhead(
+    workers: int = TRACE_OVERHEAD_WORKERS,
+    events_per_tick: int = TRACE_OVERHEAD_TICK_EVENTS,
+    reps: int = TRACE_OVERHEAD_REPS,
+) -> List[Dict[str, float]]:
+    """Span-tracing cost: steady-state ev/s with tracing disabled vs enabled.
+
+    ``trace=False`` exercises the strict no-op path every instrumented call
+    site takes in production (shared null tracer, no records); ``trace=True``
+    additionally allocates and buffers a span record per instrumented region.
+    Modes are interleaved and the best of ``reps`` repetitions kept per mode,
+    so the percentage reported is the instrumentation overhead rather than
+    run-to-run drift.
+
+    Disabled-mode overhead cannot be measured as a run-to-run delta (both
+    runs would take the same no-op path), so it is derived instead: the null
+    span context manager is micro-timed, multiplied by the spans-per-tick
+    count observed in the traced run, and expressed against the untraced
+    median tick — the cost the instrumented call sites add when tracing is
+    off.
+    """
+    best: Dict[bool, Dict[str, float]] = {}
+    for _ in range(reps):
+        for traced in (False, True):
+            row = measure_steady_state(workers, events_per_tick, trace=traced)
+            if traced not in best or row["events_per_second"] > best[traced]["events_per_second"]:
+                best[traced] = row
+    off, on = best[False], best[True]
+    measured_ticks = WARMUP_TICKS + MEASURED_TICKS
+    spans_per_tick = on["spans_recorded"] / measured_ticks
+    null_cost = _null_span_cost()
+    disabled_pct = (spans_per_tick * null_cost) / (off["tick_p50_ms"] / 1e3) * 100.0
+    enabled_pct = (
+        (off["events_per_second"] - on["events_per_second"])
+        / off["events_per_second"] * 100.0
+    )
+    print(f"{'tracing':>8} {'M events/s':>12} {'tick p50 (ms)':>14} {'overhead':>9}")
+    print(
+        f"{'off':>8} {off['events_per_second'] / 1e6:>12.3f} "
+        f"{off['tick_p50_ms']:>14.2f} {disabled_pct:>8.3f}%"
+    )
+    print(
+        f"{'on':>8} {on['events_per_second'] / 1e6:>12.3f} "
+        f"{on['tick_p50_ms']:>14.2f} {enabled_pct:>8.2f}%"
+    )
+    print(
+        f"  (disabled overhead = {spans_per_tick:.0f} no-op spans/tick × "
+        f"{null_cost * 1e9:.0f} ns against the untraced tick)"
+    )
+    base = {"workers": float(workers), "events_per_tick": float(events_per_tick)}
+    return [
+        {**base, **off, "traced": 0.0, "overhead_pct": disabled_pct,
+         "null_span_ns": null_cost * 1e9, "spans_per_tick": spans_per_tick},
+        {**base, **on, "traced": 1.0, "overhead_pct": enabled_pct},
+    ]
+
+
+def _null_span_cost(iterations: int = 200_000) -> float:
+    """Seconds per disabled-tracer span: the full no-op path an instrumented
+    call site pays when tracing is off (attr kwargs included, matching the
+    hot sites in ``session.tick``/``engine.run``)."""
+    from repro.obs.trace import NULL_TRACER
+
+    start = time.perf_counter()
+    for i in range(iterations):
+        with NULL_TRACER.span("bench.null", tick=i, backend="thread"):
+            pass
+    return (time.perf_counter() - start) / iterations
 
 
 def _lookback_program(depth_events: int):
@@ -223,6 +312,15 @@ def test_incremental_lookback_smoke():
     )
 
 
+def test_trace_overhead_smoke():
+    """CI-sized check: instrumentation must be near-free when tracing is off
+    (the derived no-op call-site cost stays under the 2% budget)."""
+    rows = run_trace_overhead(workers=1, events_per_tick=2_000, reps=1)
+    off = rows[0]
+    assert off["overhead_pct"] < 2.0, f"disabled-mode tracing overhead {off['overhead_pct']:.3f}%"
+    assert rows[1]["spans_recorded"] > 0
+
+
 def main() -> None:
     import benchutil
 
@@ -238,10 +336,17 @@ def main() -> None:
         "--depths", type=int, nargs="*", default=LOOKBACK_SWEEP,
         help="window depths (in events) for --lookback-sweep",
     )
+    parser.add_argument(
+        "--trace-overhead",
+        action="store_true",
+        help="also measure steady-state ev/s with span tracing off vs. on "
+        "(plus the derived no-op call-site cost of the disabled path)",
+    )
     benchutil.add_json_option(parser)
     args = parser.parse_args()
     rows = run_sweep(args.workers, args.tick_events)
     lookback_rows = run_lookback_sweep(args.depths) if args.lookback_sweep else []
+    trace_rows = run_trace_overhead() if args.trace_overhead else []
     if args.json:
         for row in rows:
             benchutil.record_result(
@@ -265,6 +370,22 @@ def main() -> None:
                 },
                 events_per_sec=row["events_per_second"],
                 latency_percentiles={"p50": row["tick_p50_ms"] / 1e3},
+            )
+        for row in trace_rows:
+            extra = {"overhead_pct": row["overhead_pct"]}
+            if "spans_per_tick" in row:
+                extra["spans_per_tick"] = row["spans_per_tick"]
+                extra["null_span_ns"] = row["null_span_ns"]
+            benchutil.record_result(
+                "sustained/trace-overhead",
+                params={
+                    "workers": int(row["workers"]),
+                    "events_per_tick": int(row["events_per_tick"]),
+                    "trace": "on" if row["traced"] else "off",
+                },
+                events_per_sec=row["events_per_second"],
+                latency_percentiles={"p50": row["tick_p50_ms"] / 1e3},
+                extra=extra,
             )
         benchutil.write_json(args.json)
 

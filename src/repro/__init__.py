@@ -19,7 +19,11 @@ runtime for stream queries.  This package provides:
   plus live session and fleet metrics;
 * ``repro.serve`` — the multi-tenant streaming query service: tick
   scheduling (round-robin / deficit fair-share), admission control and
-  fleet-level observability over one shared engine.
+  fleet-level observability over one shared engine;
+* ``repro.obs`` — the cross-cutting observability layer: span tracing
+  (``TiltEngine(trace=True)`` / ``REPRO_TRACE=1``), the unified
+  :class:`~repro.obs.MetricsRegistry` with Prometheus/JSON exporters,
+  Chrome trace-event export and the per-tenant flight recorder.
 
 Quickstart::
 
@@ -58,6 +62,7 @@ from .core import (
     when,
 )
 from .errors import TiltError
+from .obs import MetricsRegistry, Tracer
 from .serve import QueryService, ServiceStats
 
 __version__ = "1.0.0"
@@ -86,4 +91,6 @@ __all__ = [
     "TickResult",
     "QueryService",
     "ServiceStats",
+    "MetricsRegistry",
+    "Tracer",
 ]

@@ -452,11 +452,23 @@ class SessionStateStore:
     session advances its own watermark.
     """
 
-    def __init__(self, compiled):
+    def __init__(self, compiled, registry=None):
         self._compiled = compiled
         self._input_refs = frozenset(compiled.program.inputs)
         self._states: "Dict[str, KernelIncrementalState]" = {}
         self._runtimes: "Dict[int, IncrementalKernelRuntime]" = {}
+        # optional MetricsRegistry hooks: a *hit* is a tick reusing persistent
+        # state (the incremental win); a *miss* creates fresh state
+        self._m_hits = self._m_misses = None
+        if registry is not None:
+            self._m_hits = registry.counter(
+                "repro_incremental_state_hits_total",
+                "Kernel lookups served from persistent incremental state",
+            )
+            self._m_misses = registry.counter(
+                "repro_incremental_state_misses_total",
+                "Kernel lookups that created fresh incremental state",
+            )
 
     @property
     def states(self) -> Mapping[str, KernelIncrementalState]:
@@ -471,6 +483,8 @@ class SessionStateStore:
         the spec digest is computed once per kernel, not once per tick)."""
         memo = self._runtimes.get(id(kernel))
         if memo is not None:
+            if self._m_hits is not None:
+                self._m_hits.inc()
             return memo
         try:
             digest = kernel.spec.digest()
@@ -482,9 +496,13 @@ class SessionStateStore:
             digest = f"unpicklable:{id(kernel.spec)}"
         state = self._states.get(digest)
         if state is None:
+            if self._m_misses is not None:
+                self._m_misses.inc()
             state = self._states[digest] = KernelIncrementalState(
                 kernel.spec, self._input_refs
             )
+        elif self._m_hits is not None:
+            self._m_hits.inc()
         runtime = IncrementalKernelRuntime(kernel.runtime, state)
         self._runtimes[id(kernel)] = runtime
         return runtime

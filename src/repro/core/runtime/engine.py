@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from ...errors import ExecutionError, QueryBuildError
+from ...obs.registry import MetricsRegistry
+from ...obs.trace import make_tracer
 from ..codegen.compiled import CompiledQuery, compile_program
 from ..codegen.interpreter import evaluate_program
 from ..ir.nodes import TiltProgram
@@ -115,6 +117,21 @@ class TiltEngine:
         engine serving many distinct programs — the multi-tenant service —
         releases old compilations instead of holding every program ever
         compiled forever.
+    trace:
+        Span tracing for every execution layer of this engine (see
+        :mod:`repro.obs.trace`).  ``None`` (default) resolves to the
+        ``REPRO_TRACE`` environment variable; ``True`` creates a fresh
+        :class:`~repro.obs.trace.Tracer`; an existing tracer instance is
+        shared (how a service traces several engines into one buffer).
+        Disabled tracing is a strict no-op — instrumentation points call
+        into the shared null tracer, which allocates and records nothing —
+        and enabled tracing never changes query output (pinned by the
+        ``REPRO_TRACE=1`` CI matrix entry).
+    registry:
+        The :class:`~repro.obs.registry.MetricsRegistry` this engine (and
+        its sessions) publish into.  ``None`` creates a private one;
+        pass a shared registry to aggregate several engines into one
+        exporter endpoint.
     """
 
     def __init__(
@@ -129,6 +146,8 @@ class TiltEngine:
         enable_fusion: bool = True,
         incremental: Optional[bool] = None,
         compile_cache_size: int = 32,
+        trace=None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if mode not in ("compiled", "interpreted"):
             raise QueryBuildError(f"unknown execution mode {mode!r}")
@@ -158,6 +177,15 @@ class TiltEngine:
         self.enable_fusion = enable_fusion
         self.incremental = bool(incremental)
         self.compile_cache_size = int(compile_cache_size)
+        self.tracer = make_tracer(trace)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._m_compile_hits = self.registry.counter(
+            "repro_compile_cache_hits_total", "Engine compile-cache hits"
+        )
+        self._m_compile_misses = self.registry.counter(
+            "repro_compile_cache_misses_total", "Engine compile-cache misses"
+        )
+        self._m_backend: Dict[str, tuple] = {}
         # shared across run() calls and all sessions of this engine: one
         # worker pool and one CompiledQuery per program (see open_session).
         # Both are created/looked up under the lock — many sessions open
@@ -217,8 +245,11 @@ class TiltEngine:
             entry = self._compile_cache.get(key)
             if entry is not None and entry[0] is program:
                 self._compile_cache.move_to_end(key)
+                self._m_compile_hits.inc()
             else:
-                entry = (program, self.compile(program))
+                self._m_compile_misses.inc()
+                with self.tracer.span("engine.compile", output=program.output):
+                    entry = (program, self.compile(program))
                 self._compile_cache[key] = entry
                 while len(self._compile_cache) > self.compile_cache_size:
                     self._compile_cache.popitem(last=False)
@@ -338,21 +369,26 @@ class TiltEngine:
         (named ``"<stream>.<field>"``).  The output time range defaults to
         the union of the input time ranges.
         """
-        program, compiled = self._prepare(query)
-        inputs, input_events = self._ingest(program, streams)
-        t_start, t_end = self._time_range(inputs, t_start, t_end)
+        with self.tracer.span("engine.run") as run_span:
+            program, compiled = self._prepare(query)
+            run_span.set(output=program.output)
+            with self.tracer.span("run.ingest"):
+                inputs, input_events = self._ingest(program, streams)
+            t_start, t_end = self._time_range(inputs, t_start, t_end)
 
-        boundary = compiled.boundary if compiled is not None else resolve_boundaries(program)
-        # partition boundaries must not fall inside a precision interval of
-        # any temporal expression, otherwise workers would evaluate the query
-        # at off-grid times (see plan_partitions).
-        alignment = max((te.tdom.precision for te in program.exprs), default=0.0)
-        partitions = self._partition(inputs, boundary, t_start, t_end, alignment)
+            boundary = compiled.boundary if compiled is not None else resolve_boundaries(program)
+            # partition boundaries must not fall inside a precision interval of
+            # any temporal expression, otherwise workers would evaluate the query
+            # at off-grid times (see plan_partitions).
+            alignment = max((te.tdom.precision for te in program.exprs), default=0.0)
+            with self.tracer.span("run.plan"):
+                partitions = self._partition(inputs, boundary, t_start, t_end, alignment)
 
-        start = time.perf_counter()
-        pieces = self._map_partitions(compiled, program, boundary, partitions)
-        output = SSBuf.concat(pieces).compact() if pieces else SSBuf.empty(t_start)
-        elapsed = time.perf_counter() - start
+            start = time.perf_counter()
+            pieces = self._map_partitions(compiled, program, boundary, partitions)
+            output = SSBuf.concat(pieces).compact() if pieces else SSBuf.empty(t_start)
+            elapsed = time.perf_counter() - start
+            run_span.set(input_events=input_events, partitions=len(partitions))
         return QueryResult(
             output=output,
             elapsed_seconds=elapsed,
@@ -381,44 +417,116 @@ class TiltEngine:
         — unpicklable custom aggregates, or interpreted-mode execution,
         whose closures cannot be pickled at all — degrade gracefully to the
         engine's in-process thread fallback instead of failing.
+
+        Every dispatch is wrapped in an ``executor.dispatch`` span and
+        charged to the per-backend ``repro_kernel_seconds_total`` counter.
+        With tracing enabled, each partition also gets a ``kernel.partition``
+        span — recorded in the worker thread's own buffer, or (process
+        backend) timed worker-side and shipped back with the result, then
+        adopted under the dispatch span.
         """
         executor = self.shared_executor()
+        tracer = self.tracer
         if executor.kind == "process":
             payload = compiled.pickle_payload() if compiled is not None else None
             if payload is not None:
-                digest, blob = payload
-                # ship the payload only until the pool has run it once;
-                # after that a long-lived session sends digest-only tasks
-                # per tick, and a worker that evicted (or never saw) the
-                # query raises PayloadMissError for one re-seeding retry.
-                if digest in executor.seeded_digests:
-                    try:
-                        return executor.map(
+                trace_workers = tracer.enabled
+                with tracer.span(
+                    "executor.dispatch",
+                    backend="process",
+                    partitions=len(partitions),
+                    kernel_digest=payload[0][:12],
+                ):
+                    started = time.perf_counter()
+                    digest, blob = payload
+                    # ship the payload only until the pool has run it once;
+                    # after that a long-lived session sends digest-only tasks
+                    # per tick, and a worker that evicted (or never saw) the
+                    # query raises PayloadMissError for one re-seeding retry.
+                    pieces = None
+                    if digest in executor.seeded_digests:
+                        try:
+                            pieces = executor.map(
+                                run_compiled_partition,
+                                [(digest, None, p, trace_workers) for p in partitions],
+                            )
+                        except PayloadMissError:
+                            pieces = None
+                    if pieces is None:
+                        pieces = executor.map(
                             run_compiled_partition,
-                            [(digest, None, p) for p in partitions],
+                            [(digest, blob, p, trace_workers) for p in partitions],
                         )
-                    except PayloadMissError:
-                        pass
-                pieces = executor.map(
-                    run_compiled_partition,
-                    [(digest, blob, p) for p in partitions],
-                )
-                if partitions:
-                    # an empty map never delivered the payload to anyone —
-                    # only a completed non-empty map counts as seeding
-                    executor.seeded_digests.add(digest)
+                        if partitions:
+                            # an empty map never delivered the payload to
+                            # anyone — only a completed non-empty map counts
+                            # as seeding
+                            executor.seeded_digests.add(digest)
+                    if trace_workers:
+                        # traced tasks return (buffer, worker span records);
+                        # re-parent the shipped records under this dispatch
+                        outputs = []
+                        shipped = []
+                        for buf, records in pieces:
+                            outputs.append(buf)
+                            shipped.extend(records)
+                        tracer.adopt(shipped)
+                        pieces = outputs
+                    self._charge_backend("process", time.perf_counter() - started, len(partitions))
                 return pieces
             executor = self._thread_fallback()
-        if compiled is not None:
-            return executor.map(
-                lambda p: compiled.run(p.inputs, p.t_start, p.t_end), partitions
+        backend = executor.kind
+        with tracer.span(
+            "executor.dispatch", backend=backend, partitions=len(partitions)
+        ):
+            started = time.perf_counter()
+            if compiled is not None:
+                run_partition = lambda p: compiled.run(p.inputs, p.t_start, p.t_end)  # noqa: E731
+            else:
+                run_partition = lambda p: evaluate_program(  # noqa: E731
+                    program, p.inputs, p.t_start, p.t_end, boundary=boundary
+                )[program.output]
+            if tracer.enabled:
+                # worker threads have empty span stacks, so the partition
+                # spans name the dispatch span as parent explicitly
+                parent = tracer.current_span_id()
+                digest12 = ""
+                if compiled is not None:
+                    payload = compiled.pickle_payload()  # memoized
+                    if payload is not None:
+                        digest12 = payload[0][:12]
+                inner = run_partition
+
+                def run_partition(p):
+                    with tracer.span(
+                        "kernel.partition", parent=parent, index=p.index,
+                        t_start=p.t_start, t_end=p.t_end, kernel_digest=digest12,
+                    ):
+                        return inner(p)
+
+            pieces = executor.map(run_partition, partitions)
+            self._charge_backend(backend, time.perf_counter() - started, len(partitions))
+        return pieces
+
+    def _charge_backend(self, kind: str, seconds: float, partitions: int) -> None:
+        """Accumulate dispatch time/partitions into the per-backend counters."""
+        counters = self._m_backend.get(kind)
+        if counters is None:
+            counters = self._m_backend[kind] = (
+                self.registry.counter(
+                    "repro_kernel_seconds_total",
+                    "Partition-map execution seconds by backend",
+                    backend=kind,
+                ),
+                self.registry.counter(
+                    "repro_partitions_total",
+                    "Partitions executed by backend",
+                    backend=kind,
+                ),
             )
-        return executor.map(
-            lambda p: evaluate_program(
-                program, p.inputs, p.t_start, p.t_end, boundary=boundary
-            )[program.output],
-            partitions,
-        )
+        counters[0].inc(seconds)
+        if partitions:
+            counters[1].inc(partitions)
 
     def _prepare(
         self, query: Union[TiltProgram, CompiledQuery]

@@ -27,6 +27,7 @@ back to its thread executor (see :meth:`TiltEngine._map_partitions`).
 from __future__ import annotations
 
 import concurrent.futures
+import itertools
 import math
 import multiprocessing
 import os
@@ -223,6 +224,10 @@ _WORKER_QUERY_CACHE: "OrderedDict[str, object]" = OrderedDict()
 _WORKER_QUERY_LOCK = threading.Lock()
 _WORKER_QUERY_CACHE_LIMIT = 128
 
+#: worker-side span-id sequence — distinct from any parent-side tracer ids
+#: (those embed the parent pid; these the worker pid + a ``w`` marker)
+_WORKER_SPAN_IDS = itertools.count(1)
+
 
 def _worker_compiled_query(digest: str, payload: Optional[bytes]):
     import pickle
@@ -243,11 +248,11 @@ def _worker_compiled_query(digest: str, payload: Optional[bytes]):
     return compiled
 
 
-def run_compiled_partition(task: Tuple[str, Optional[bytes], object]):
+def run_compiled_partition(task: Tuple):
     """Process-pool task: run one partition of a compiled query.
 
-    ``task`` is ``(digest, payload, partition)`` where ``payload`` is the
-    pickled :class:`~repro.core.codegen.compiled.CompiledQuery` — or
+    ``task`` is ``(digest, payload, partition[, traced])`` where ``payload``
+    is the pickled :class:`~repro.core.codegen.compiled.CompiledQuery` — or
     ``None`` once the parent has seeded the pool, so a long-running
     streaming session ships only the digest per tick.  The expensive
     unpickle+rebuild happens at most once per process, guarded by the
@@ -255,7 +260,42 @@ def run_compiled_partition(task: Tuple[str, Optional[bytes], object]):
     parent to retry with the payload.  ``partition`` is a
     :class:`~repro.core.runtime.partition.Partition`.  Returns the output
     snapshot buffer, which pickles back to the parent as raw arrays.
+
+    With ``traced`` (the engine sets it when its tracer is enabled) the
+    partition is timed worker-side and the return value becomes
+    ``(buffer, [SpanRecord])`` — the span records ship back with the result
+    and are adopted under the parent's dispatch span, so a traced tick's
+    span tree crosses the process boundary intact.
     """
-    digest, payload, partition = task
+    digest, payload, partition = task[0], task[1], task[2]
+    traced = len(task) > 3 and task[3]
     compiled = _worker_compiled_query(digest, payload)
-    return compiled.run(partition.inputs, partition.t_start, partition.t_end)
+    if not traced:
+        return compiled.run(partition.inputs, partition.t_start, partition.t_end)
+    import time
+
+    from ...obs.trace import SpanRecord
+
+    wall = time.time()
+    c0 = time.thread_time()
+    t0 = time.perf_counter()
+    out = compiled.run(partition.inputs, partition.t_start, partition.t_end)
+    duration = time.perf_counter() - t0
+    cpu = time.thread_time() - c0
+    record = SpanRecord(
+        "kernel.partition",
+        f"{os.getpid():x}-w{next(_WORKER_SPAN_IDS):x}",
+        None,
+        wall,
+        duration,
+        cpu,
+        {
+            "index": partition.index,
+            "t_start": partition.t_start,
+            "t_end": partition.t_end,
+            "kernel_digest": digest[:12],
+        },
+        threading.get_ident(),
+        os.getpid(),
+    )
+    return out, [record]

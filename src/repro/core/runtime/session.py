@@ -201,7 +201,7 @@ class _IngestColumn:
                 )
         return self._cache
 
-    def prune(self, t: float) -> None:
+    def prune(self, t: float) -> int:
         """Drop snapshots at or before ``t`` (they can never be read again).
 
         Matches ``SSBuf.slice`` semantics: a snapshot spanning ``t`` is kept
@@ -209,12 +209,15 @@ class _IngestColumn:
         ``slice(in_lo, in_hi)`` with ``in_lo >= t`` is byte-identical to the
         same slice of the unpruned buffer.  The dead head is dropped lazily
         (amortized compaction), keeping per-tick pruning O(log retained).
+        Returns the number of snapshots newly retired (for the pruned-input
+        accounting in the metrics registry).
         """
         if t <= (self.anchor if self.anchor is not None else 0.0):
-            return
-        self._lo += int(
+            return 0
+        pruned = int(
             np.searchsorted(self._times[self._lo : self._n], t, side="right")
         )
+        self._lo += pruned
         self.anchor = t
         self._cache = None
         if self._lo >= self._COMPACT_MIN_DEAD and 2 * self._lo >= self._n:
@@ -224,6 +227,7 @@ class _IngestColumn:
                 arr[:live] = arr[self._lo : self._n].copy()
             self._n = live
             self._lo = 0
+        return pruned
 
     def retained_snapshots(self) -> int:
         return self._n - self._lo
@@ -298,6 +302,10 @@ class StreamingSession:
         inherits the engine's ``incremental`` setting (env override
         ``REPRO_INCREMENTAL``).  Interpreted-mode sessions silently fall
         back to full recompute — the reference path is always available.
+    trace_attrs:
+        Attributes stamped onto every ``session.tick`` span this session
+        emits (e.g. ``{"tenant": "alice"}``).  Ignored — at zero cost —
+        when the engine's tracer is disabled.
     """
 
     def __init__(
@@ -310,15 +318,20 @@ class StreamingSession:
         t_start: Optional[float] = None,
         retain_output: bool = True,
         incremental: Optional[bool] = None,
+        trace_attrs: Optional[Dict[str, object]] = None,
     ):
         self._engine = engine
+        self._tracer = engine.tracer
+        self._trace_attrs = dict(trace_attrs) if trace_attrs else {}
         program, compiled = engine._prepare(query)
         self._program = program
         self._compiled = compiled
         if incremental is None:
             incremental = engine.incremental
         self._state_store: Optional[SessionStateStore] = (
-            SessionStateStore(compiled) if incremental and compiled is not None else None
+            SessionStateStore(compiled, registry=engine.registry)
+            if incremental and compiled is not None
+            else None
         )
         self._pins: List[float] = []
         self._boundary = (
@@ -375,6 +388,15 @@ class StreamingSession:
         from ...metrics.streaming import SessionMetrics
 
         self.metrics = SessionMetrics()
+        self.metrics.bind_registry(engine.registry)
+        self._m_pruned = engine.registry.counter(
+            "repro_pruned_snapshots_total",
+            "Carry-over input snapshots retired by watermark pruning",
+        )
+        self._m_late = engine.registry.counter(
+            "repro_late_events_total",
+            "Ingest batches rejected for out-of-order/overlapping arrival",
+        )
         engine._register_session(self)
 
     # ------------------------------------------------------------------ #
@@ -428,11 +450,21 @@ class StreamingSession:
         """Ingest newly arrived events and emit the next output delta."""
         if self._closed:
             raise ExecutionError("session is closed")
-        started = time.perf_counter()
-        ingested = self._ingest(max_events)
-        horizon = min(src.horizon for src, _ in self._source_columns)
-        t_lo, t_hi, delta, partitions = self._emit(horizon, forced_end=None)
-        return self._finish_tick(started, ingested, t_lo, t_hi, delta, partitions)
+        with self._tracer.span(
+            "session.tick", tick=self._ticks, **self._trace_attrs
+        ) as sp:
+            started = time.perf_counter()
+            ingested = self._ingest(max_events)
+            horizon = min(src.horizon for src, _ in self._source_columns)
+            t_lo, t_hi, delta, partitions = self._emit(horizon, forced_end=None)
+            result = self._finish_tick(started, ingested, t_lo, t_hi, delta, partitions)
+            sp.set(
+                ingested=ingested,
+                emitted=result.emitted,
+                output_snapshots=len(delta),
+                watermark=t_hi,
+            )
+            return result
 
     def close(self, *, drain: bool = True) -> TickResult:
         """Flush the remaining output and end the session.
@@ -447,25 +479,32 @@ class StreamingSession:
         """
         if self._closed:
             raise ExecutionError("session is already closed")
-        started = time.perf_counter()
-        ingested = 0
-        all_finite = all(
-            getattr(src, "finite", True) for src, _ in self._source_columns
-        )
-        if drain and all_finite:
-            while not self.exhausted:
-                polled = self._ingest(None)
-                ingested += polled
-                if polled == 0:
-                    break
-        ends = [c.prev_end for c in self._columns.values() if c.started]
-        if not ends:
+        with self._tracer.span(
+            "session.tick", tick=self._ticks, closing=True, **self._trace_attrs
+        ) as sp:
+            started = time.perf_counter()
+            ingested = 0
+            all_finite = all(
+                getattr(src, "finite", True) for src, _ in self._source_columns
+            )
+            if drain and all_finite:
+                while not self.exhausted:
+                    polled = self._ingest(None)
+                    ingested += polled
+                    if polled == 0:
+                        break
+            ends = [c.prev_end for c in self._columns.values() if c.started]
+            if not ends:
+                self._closed = True
+                return self._finish_tick(
+                    started, ingested, 0.0, 0.0, SSBuf.empty(0.0), 0
+                )
+            t_final = max(ends)
+            t_lo, t_hi, delta, partitions = self._emit(_INF, forced_end=t_final)
             self._closed = True
-            return self._finish_tick(started, ingested, 0.0, 0.0, SSBuf.empty(0.0), 0)
-        t_final = max(ends)
-        t_lo, t_hi, delta, partitions = self._emit(_INF, forced_end=t_final)
-        self._closed = True
-        return self._finish_tick(started, ingested, t_lo, t_hi, delta, partitions)
+            result = self._finish_tick(started, ingested, t_lo, t_hi, delta, partitions)
+            sp.set(ingested=ingested, emitted=result.emitted, watermark=t_hi)
+            return result
 
     def abort(self) -> None:
         """Close immediately, skipping the final output flush.
@@ -579,14 +618,20 @@ class StreamingSession:
     def _ingest(self, max_events: Optional[int]) -> int:
         budget = max_events if max_events is not None else self._max_events_per_tick
         ingested = 0
-        for src, cols in self._source_columns:
-            events = src.poll(budget)
-            if not events:
-                continue
-            for col in cols:
-                col.extend(events)
-            ingested += len(events)
-        self._total_events += ingested
+        with self._tracer.span("tick.ingest") as sp:
+            for src, cols in self._source_columns:
+                events = src.poll(budget)
+                if not events:
+                    continue
+                try:
+                    for col in cols:
+                        col.extend(events)
+                except OverlappingEventsError:
+                    self._m_late.inc(len(events))
+                    raise
+                ingested += len(events)
+            self._total_events += ingested
+            sp.set(events=ingested)
         return ingested
 
     def _session_start(self) -> Optional[float]:
@@ -616,44 +661,54 @@ class StreamingSession:
         if not (w > self._t_emit) or w == _INF:
             return (self._t_emit, self._t_emit, SSBuf.empty(self._t_emit), 0)
 
-        inputs = {name: col.materialize() for name, col in self._columns.items()}
-        if self._state_store is not None:
-            # incremental path: one in-process evaluation of (t_emit, w]
-            # against persistent per-kernel state — no partitioner, no
-            # executor, no O(lookback) index rebuilds.
-            piece = self._run_incremental(inputs, self._t_emit, w)
-            delta = SSBuf.concat([piece]).compact() if len(piece) else SSBuf.empty(self._t_emit)
-            num_partitions = 1
-        else:
-            partitions = self._engine._partition(
-                inputs, self._boundary, self._t_emit, w, self._alignment
-            )
-            # single dispatch point shared with TiltEngine.run: picks the
-            # engine's worker pool, ships picklable compiled queries to the
-            # process backend, and falls back to threads otherwise.
-            pieces = self._engine._map_partitions(
-                self._compiled, self._program, self._boundary, partitions
-            )
-            delta = SSBuf.concat(pieces).compact() if pieces else SSBuf.empty(self._t_emit)
-            num_partitions = len(partitions)
-        t_lo = self._t_emit
-        # retain the delta *before* advancing the watermark: a concurrent
-        # reader of result() then sees at worst a one-tick-stale output,
-        # never an output stamped complete through a watermark whose delta
-        # is missing.
-        if self._retain_output and len(delta):
-            self._deltas.append(delta)
-        self._t_emit = w
-        self._emitted_any = True
-        # carry-over: every future partition reads input no earlier than
-        # (new watermark - max lookback); older snapshots are dead — unless
-        # a checkpoint pin or an incremental site's ingest horizon still
-        # needs them (see _prune_floor).
-        prune_to = self._prune_floor(w)
-        for col in self._columns.values():
-            col.prune(prune_to)
-        if self._state_store is not None:
-            self._state_store.prune(prune_to)
+        with self._tracer.span("tick.emit", t_start=self._t_emit, t_end=w):
+            inputs = {name: col.materialize() for name, col in self._columns.items()}
+            if self._state_store is not None:
+                # incremental path: one in-process evaluation of (t_emit, w]
+                # against persistent per-kernel state — no partitioner, no
+                # executor, no O(lookback) index rebuilds.
+                with self._tracer.span("emit.incremental") as sp:
+                    piece = self._run_incremental(inputs, self._t_emit, w)
+                    sp.set(state_snapshots=self._state_store.retained_snapshots())
+                delta = SSBuf.concat([piece]).compact() if len(piece) else SSBuf.empty(self._t_emit)
+                num_partitions = 1
+            else:
+                with self._tracer.span("emit.plan") as sp:
+                    partitions = self._engine._partition(
+                        inputs, self._boundary, self._t_emit, w, self._alignment
+                    )
+                    sp.set(partitions=len(partitions))
+                # single dispatch point shared with TiltEngine.run: picks the
+                # engine's worker pool, ships picklable compiled queries to
+                # the process backend, and falls back to threads otherwise.
+                pieces = self._engine._map_partitions(
+                    self._compiled, self._program, self._boundary, partitions
+                )
+                delta = SSBuf.concat(pieces).compact() if pieces else SSBuf.empty(self._t_emit)
+                num_partitions = len(partitions)
+            t_lo = self._t_emit
+            # retain the delta *before* advancing the watermark: a concurrent
+            # reader of result() then sees at worst a one-tick-stale output,
+            # never an output stamped complete through a watermark whose
+            # delta is missing.
+            if self._retain_output and len(delta):
+                self._deltas.append(delta)
+            self._t_emit = w
+            self._emitted_any = True
+            # carry-over: every future partition reads input no earlier than
+            # (new watermark - max lookback); older snapshots are dead —
+            # unless a checkpoint pin or an incremental site's ingest horizon
+            # still needs them (see _prune_floor).
+            with self._tracer.span("emit.prune") as sp:
+                prune_to = self._prune_floor(w)
+                pruned = 0
+                for col in self._columns.values():
+                    pruned += col.prune(prune_to)
+                if self._state_store is not None:
+                    self._state_store.prune(prune_to)
+                if pruned:
+                    self._m_pruned.inc(pruned)
+                sp.set(pruned=pruned, floor=prune_to)
         return (t_lo, w, delta, num_partitions)
 
     def _prune_floor(self, w: float) -> float:

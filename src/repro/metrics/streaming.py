@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Deque, Dict, List, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -104,10 +104,20 @@ class LatencyDistribution:
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (0..100) of recent tick latencies."""
+        return self.quantiles([q])[0]
+
+    def quantiles(self, qs: Sequence[float]) -> List[float]:
+        """Several percentiles (0..100) from **one** snapshot of the window.
+
+        The sample window is copied and sorted once, however many quantiles
+        are requested — the batch API callers should prefer over repeated
+        ``p50``/``p95``/``p99`` reads, each of which snapshots on its own.
+        """
         samples = self.samples()
         if not samples:
-            return 0.0
-        return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+            return [0.0] * len(qs)
+        arr = np.asarray(samples, dtype=np.float64)
+        return [float(v) for v in np.percentile(arr, list(qs))]
 
     def samples(self) -> List[float]:
         """The retained recent samples, oldest first (a copy).
@@ -155,6 +165,27 @@ class SessionMetrics:
         self.input_events = 0
         self.output_snapshots = 0
         self.busy_seconds = 0.0
+        self._registry_sinks = None
+
+    def bind_registry(self, registry) -> None:
+        """Publish this session's tick stream into a central
+        :class:`~repro.obs.registry.MetricsRegistry`.
+
+        Sessions bind their owning engine's registry at construction, so the
+        unified exporters see fleet-wide tick totals and the tick-latency
+        histogram without any layer keeping a second copy of the counts —
+        ``record_tick`` is the single write path for both views.
+        """
+        if registry is None:
+            self._registry_sinks = None
+            return
+        self._registry_sinks = (
+            registry.counter("repro_ticks_total", "Micro-batch ticks executed"),
+            registry.counter("repro_empty_ticks_total", "Ticks that emitted no output"),
+            registry.counter("repro_ingested_events_total", "Input events ingested"),
+            registry.counter("repro_output_snapshots_total", "Output snapshots emitted"),
+            registry.histogram("repro_tick_seconds", "Per-tick wall time"),
+        )
 
     def record_tick(
         self,
@@ -172,6 +203,17 @@ class SessionMetrics:
         self.busy_seconds += float(seconds)
         self.rolling.record(input_events, seconds)
         self.latency.record(seconds)
+        sinks = self._registry_sinks
+        if sinks is not None:
+            ticks, empty, events, snaps, hist = sinks
+            ticks.inc()
+            if not emitted:
+                empty.inc()
+            if input_events:
+                events.inc(int(input_events))
+            if output_snapshots:
+                snaps.inc(int(output_snapshots))
+            hist.observe(float(seconds))
 
     @property
     def throughput(self) -> float:
@@ -186,6 +228,7 @@ class SessionMetrics:
 
     def summary(self) -> Dict[str, float]:
         """Snapshot of the headline numbers (stable keys, JSON-friendly)."""
+        p50, p95, p99 = self.latency.quantiles([50.0, 95.0, 99.0])
         return {
             "ticks": float(self.ticks),
             "empty_ticks": float(self.empty_ticks),
@@ -194,17 +237,18 @@ class SessionMetrics:
             "busy_seconds": self.busy_seconds,
             "events_per_second": self.throughput,
             "rolling_events_per_second": self.rolling_throughput,
-            "tick_latency_p50": self.latency.p50,
-            "tick_latency_p95": self.latency.p95,
-            "tick_latency_p99": self.latency.p99,
+            "tick_latency_p50": p50,
+            "tick_latency_p95": p95,
+            "tick_latency_p99": p99,
         }
 
     def format(self) -> str:
         """One-line human-readable rendering for live logs."""
+        p50, p99 = self.latency.quantiles([50.0, 99.0])
         return (
             f"{self.ticks} ticks | {self.input_events:,} events | "
             f"{self.rolling_throughput / 1e6:.3f} M ev/s rolling "
             f"({self.throughput / 1e6:.3f} cumulative) | "
-            f"tick p50 {self.latency.p50 * 1e3:.2f} ms / "
-            f"p99 {self.latency.p99 * 1e3:.2f} ms"
+            f"tick p50 {p50 * 1e3:.2f} ms / "
+            f"p99 {p99 * 1e3:.2f} ms"
         )

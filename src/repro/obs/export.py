@@ -1,0 +1,123 @@
+"""Span exporters: Chrome trace-event JSON and span-tree assembly.
+
+Two consumers want the records a :class:`~repro.obs.trace.Tracer` collects:
+
+* a human with a browser — :func:`to_chrome_trace` renders records as
+  Chrome's trace-event format (the JSON ``chrome://tracing`` / Perfetto
+  load), one complete ``"X"`` event per span with wall-clock microsecond
+  timestamps, so a slow tick can be inspected visually across the
+  session → executor → kernel stack;
+* the flight recorder and tests — :func:`build_span_trees` reassembles the
+  flat record list into parent→children trees (roots first, children in
+  start order), the structural form assertions and the slow-tick pinning
+  work on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .trace import SpanRecord
+
+__all__ = ["SpanTree", "build_span_trees", "to_chrome_trace", "chrome_trace_json"]
+
+
+class SpanTree:
+    """One span and its children, ordered by start time."""
+
+    __slots__ = ("record", "children")
+
+    def __init__(self, record: SpanRecord):
+        self.record = record
+        self.children: List["SpanTree"] = []
+
+    @property
+    def name(self) -> str:
+        return self.record.name
+
+    @property
+    def duration(self) -> float:
+        return self.record.duration
+
+    def find(self, name: str) -> List["SpanTree"]:
+        """All descendants (including self) with the given span name."""
+        found = [self] if self.record.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+    def total_spans(self) -> int:
+        return 1 + sum(c.total_spans() for c in self.children)
+
+    def to_dict(self) -> Dict[str, object]:
+        d = self.record.to_dict()
+        d["children"] = [c.to_dict() for c in self.children]
+        return d
+
+    def format(self, indent: int = 0) -> str:
+        """Indented one-line-per-span rendering for logs and reports."""
+        line = (
+            f"{'  ' * indent}{self.record.name} "
+            f"{self.record.duration * 1e3:.3f} ms"
+        )
+        if self.record.attrs:
+            attrs = " ".join(f"{k}={v}" for k, v in sorted(self.record.attrs.items()))
+            line += f" [{attrs}]"
+        return "\n".join([line] + [c.format(indent + 1) for c in self.children])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SpanTree({self.record.name!r}, {len(self.children)} children)"
+
+
+def build_span_trees(records: Sequence[SpanRecord]) -> List[SpanTree]:
+    """Assemble flat records into trees.
+
+    A record whose parent is absent from ``records`` becomes a root (spans
+    can be drained mid-run, orphaning children of still-active parents).
+    Roots and children are ordered by start time.
+    """
+    nodes: Dict[str, SpanTree] = {r.span_id: SpanTree(r) for r in records}
+    roots: List[SpanTree] = []
+    for r in sorted(records, key=lambda r: r.start):
+        node = nodes[r.span_id]
+        parent = nodes.get(r.parent_id) if r.parent_id is not None else None
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    return roots
+
+
+def to_chrome_trace(records: Sequence[SpanRecord]) -> Dict[str, object]:
+    """Records as a Chrome trace-event document (load in ``chrome://tracing``).
+
+    Every span becomes one complete (``"ph": "X"``) event with microsecond
+    wall-clock timestamps; pid/tid reproduce the producing process/thread,
+    so the process backend's worker spans appear on their own tracks.
+    """
+    events: List[Dict[str, object]] = []
+    for r in sorted(records, key=lambda r: r.start):
+        args: Dict[str, object] = {str(k): v for k, v in r.attrs.items()}
+        args["cpu_time_ms"] = round(r.cpu_time * 1e3, 6)
+        args["span_id"] = r.span_id
+        if r.parent_id is not None:
+            args["parent_id"] = r.parent_id
+        events.append(
+            {
+                "name": r.name,
+                "ph": "X",
+                "ts": r.start * 1e6,
+                "dur": r.duration * 1e6,
+                "pid": r.pid,
+                "tid": r.thread_id,
+                "cat": r.name.split(".", 1)[0],
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(records: Sequence[SpanRecord], *, indent: Optional[int] = None) -> str:
+    """:func:`to_chrome_trace` serialized to a JSON string."""
+    return json.dumps(to_chrome_trace(records), indent=indent, sort_keys=True)

@@ -1,0 +1,227 @@
+"""Flight recorder: bounded history of recent tick span trees per tenant.
+
+Tracing answers "what is happening now"; the flight recorder answers "why
+was *that* tick slow" after the fact.  It keeps, per tenant, a bounded ring
+of the most recent tick span trees, and — when a tick's root span exceeds
+``slow_tick_threshold`` — **pins** the offending tick's full span tree
+together with its kernel/source context (program output, kernel digests and
+generated sources) so the evidence survives long after the ring has cycled.
+
+The recorder is fed by :meth:`QueryService.step
+<repro.serve.service.QueryService.step>` after each tick (the service
+drains the tracer and hands the records over), but it is service-agnostic:
+anything that produces span records for a logical "tick" can use it.
+Everything it holds is exposed through :meth:`summary` (and therefore
+``QueryService.stats()``) as plain JSON-friendly structures.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+from .export import SpanTree, build_span_trees, to_chrome_trace
+from .trace import SpanRecord
+
+__all__ = ["PinnedTick", "FlightRecorder"]
+
+
+class PinnedTick:
+    """A slow tick frozen for post-hoc diagnosis."""
+
+    __slots__ = ("tenant", "tick_index", "duration", "wall_time", "tree", "context")
+
+    def __init__(
+        self,
+        tenant: str,
+        tick_index: Optional[int],
+        duration: float,
+        wall_time: float,
+        tree: SpanTree,
+        context: Dict[str, object],
+    ):
+        self.tenant = tenant
+        self.tick_index = tick_index
+        self.duration = duration
+        self.wall_time = wall_time
+        self.tree = tree
+        self.context = context
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tenant": self.tenant,
+            "tick_index": self.tick_index,
+            "duration": self.duration,
+            "wall_time": self.wall_time,
+            "span_tree": self.tree.to_dict(),
+            "context": dict(self.context),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PinnedTick({self.tenant!r}, tick={self.tick_index}, "
+            f"{self.duration * 1e3:.1f} ms)"
+        )
+
+
+class _TenantRing:
+    __slots__ = ("trees", "ticks_recorded", "slow_ticks")
+
+    def __init__(self, capacity: int):
+        self.trees: Deque[SpanTree] = deque(maxlen=capacity)
+        self.ticks_recorded = 0
+        self.slow_ticks = 0
+
+
+class FlightRecorder:
+    """Bounded per-tenant span-tree history with a slow-tick trigger.
+
+    Parameters
+    ----------
+    capacity_per_tenant:
+        Recent tick span trees retained per tenant (ring buffer).
+    slow_tick_threshold:
+        Root-span duration (seconds) past which a tick is pinned.  ``None``
+        disables pinning; the recent rings still fill.
+    max_pinned:
+        Bound on retained :class:`PinnedTick` evidence (oldest evicted
+        first) — pinning carries kernel sources, so it must not grow with
+        uptime on a persistently slow fleet.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity_per_tenant: int = 16,
+        slow_tick_threshold: Optional[float] = None,
+        max_pinned: int = 8,
+    ):
+        if capacity_per_tenant < 1:
+            raise ValueError("capacity_per_tenant must be >= 1")
+        if max_pinned < 1:
+            raise ValueError("max_pinned must be >= 1")
+        if slow_tick_threshold is not None and slow_tick_threshold <= 0:
+            raise ValueError("slow_tick_threshold must be positive (or None)")
+        self.capacity_per_tenant = int(capacity_per_tenant)
+        self.slow_tick_threshold = slow_tick_threshold
+        self.max_pinned = int(max_pinned)
+        self._lock = threading.Lock()
+        self._tenants: "OrderedDict[str, _TenantRing]" = OrderedDict()
+        self._pinned: Deque[PinnedTick] = deque(maxlen=self.max_pinned)
+        self._records_seen = 0
+
+    # -- feeding --------------------------------------------------------- #
+    def record_tick(
+        self,
+        tenant: str,
+        records: Sequence[SpanRecord],
+        *,
+        context: Optional[Dict[str, object]] = None,
+    ) -> Optional[PinnedTick]:
+        """Fold one tick's drained span records into the tenant's ring.
+
+        The tick's root span is the first root whose subtree contains a
+        ``session.tick`` span (a drain can sweep up unrelated spans from
+        other threads, e.g. a concurrent submit's ``engine.compile``);
+        when none qualifies, the earliest-starting root stands in.  Its
+        duration drives the slow-tick trigger.  Returns the
+        :class:`PinnedTick` when the threshold tripped, else ``None``.
+        """
+        if not records:
+            return None
+        roots = build_span_trees(records)
+        if not roots:
+            return None
+        tree = next((r for r in roots if r.find("session.tick")), roots[0])
+        with self._lock:
+            self._records_seen += len(records)
+            ring = self._tenants.get(tenant)
+            if ring is None:
+                ring = self._tenants[tenant] = _TenantRing(self.capacity_per_tenant)
+            ring.trees.append(tree)
+            ring.ticks_recorded += 1
+            threshold = self.slow_tick_threshold
+            if threshold is None or tree.record.duration < threshold:
+                return None
+            ring.slow_ticks += 1
+            ticks = tree.find("session.tick")
+            tick_index = None
+            if ticks:
+                tick_index = ticks[0].record.attrs.get("tick")
+            pinned = PinnedTick(
+                tenant,
+                tick_index,
+                tree.record.duration,
+                tree.record.start,
+                tree,
+                dict(context or {}),
+            )
+            self._pinned.append(pinned)
+            return pinned
+
+    # -- introspection --------------------------------------------------- #
+    def recent(self, tenant: str) -> List[SpanTree]:
+        """The tenant's retained recent tick span trees, oldest first."""
+        with self._lock:
+            ring = self._tenants.get(tenant)
+            return list(ring.trees) if ring is not None else []
+
+    def pinned(self) -> List[PinnedTick]:
+        with self._lock:
+            return list(self._pinned)
+
+    def tenants(self) -> List[str]:
+        with self._lock:
+            return list(self._tenants)
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly snapshot for ``QueryService.stats()``."""
+        with self._lock:
+            tenants = {
+                name: {
+                    "ticks_recorded": ring.ticks_recorded,
+                    "slow_ticks": ring.slow_ticks,
+                    "recent_tick_ms": [
+                        round(t.record.duration * 1e3, 3) for t in ring.trees
+                    ],
+                }
+                for name, ring in self._tenants.items()
+            }
+            pinned = [p.to_dict() for p in self._pinned]
+        return {
+            "slow_tick_threshold": self.slow_tick_threshold,
+            "records_seen": self._records_seen,
+            "tenants": tenants,
+            "pinned_slow_ticks": pinned,
+        }
+
+    def to_chrome_trace(self, tenant: Optional[str] = None) -> Dict[str, object]:
+        """Everything retained (one tenant, or all) as a Chrome trace doc."""
+        records: List[SpanRecord] = []
+
+        def collect(tree: SpanTree) -> None:
+            records.append(tree.record)
+            for child in tree.children:
+                collect(child)
+
+        with self._lock:
+            rings = (
+                [self._tenants[tenant]]
+                if tenant is not None and tenant in self._tenants
+                else list(self._tenants.values())
+                if tenant is None
+                else []
+            )
+            trees = [t for ring in rings for t in ring.trees]
+            trees.extend(p.tree for p in self._pinned)
+        for tree in trees:
+            collect(tree)
+        return to_chrome_trace(records)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return (
+                f"FlightRecorder({len(self._tenants)} tenants, "
+                f"{len(self._pinned)} pinned)"
+            )

@@ -38,8 +38,10 @@ backpressured producers cannot deadlock the scheduler.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
+import traceback as traceback_module
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
@@ -50,10 +52,15 @@ from ..datagen.sources import QueuedSource
 from ..errors import ExecutionError, QueryBuildError
 from ..metrics.fleet import FleetSnapshot, aggregate_fleet
 from ..metrics.streaming import LatencyDistribution
+from ..obs.recorder import FlightRecorder
 from .admission import AdmissionConfig, AdmissionController
 from .scheduler import SchedulerPolicy, TickScheduler, make_policy
 
 __all__ = ["TenantSession", "ServiceStats", "QueryService"]
+
+#: tenant-isolation failures are reported here (as well as being retained on
+#: the failed tenant) — a service embedder points a handler at this logger
+_LOG = logging.getLogger("repro.serve")
 
 #: tenant lifecycle states
 ACTIVE = "active"
@@ -95,6 +102,10 @@ class TenantSession:
         self.push_sources = push_sources
         self.state = ACTIVE
         self.error: Optional[BaseException] = None
+        #: formatted traceback of the failure that moved the tenant to
+        #: FAILED — retained because the exception's own traceback chain is
+        #: unreachable once the scheduling loop moves on
+        self.traceback: Optional[str] = None
         #: scheduling state, maintained by the policy
         self.vtime = 0.0
         self.cost_ewma: Optional[float] = None
@@ -109,6 +120,8 @@ class TenantSession:
         #: a tenant observes under contention (what fair-share improves)
         self.emit_gaps = LatencyDistribution(capacity=512)
         self._pending: List[TickResult] = []
+        #: lazily built kernel/source evidence for flight-recorder pins
+        self._flight_context: Optional[Dict[str, object]] = None
         #: False once a tick made no progress and no new input has arrived
         #: since — the scheduler skips the tenant until it is poked.  The
         #: sequence number detects input arriving *during* a tick, so a
@@ -177,6 +190,7 @@ class TenantSession:
             "cost_ewma": float(self.cost_ewma or 0.0),
             "watermark": self.session.watermark,
             "error": repr(self.error) if self.error is not None else "",
+            "traceback": self.traceback or "",
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -194,6 +208,9 @@ class ServiceStats:
     rejected_tenants: int
     fleet: FleetSnapshot
     tenants: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: flight-recorder snapshot (recent/pinned slow-tick evidence); ``None``
+    #: when the service's engine runs with tracing disabled
+    flight: Optional[Dict[str, object]] = None
 
     def summary(self) -> Dict[str, object]:
         """Flat JSON-friendly rendering (fleet keys inlined)."""
@@ -241,6 +258,14 @@ class QueryService:
     default_deadline:
         Staleness deadline (seconds) applied to tenants submitted without
         an explicit one; ``None`` disables escalation by default.
+    slow_tick_threshold:
+        Ticks whose root span exceeds this many seconds are pinned by the
+        flight recorder (full span tree + kernel context surfaced through
+        :meth:`stats`).  Only meaningful when the engine traces
+        (``TiltEngine(trace=True)`` or ``REPRO_TRACE=1``); ``None`` keeps
+        the recent-tick rings without pinning.
+    flight_capacity:
+        Recent tick span trees the flight recorder retains per tenant.
     """
 
     def __init__(
@@ -256,6 +281,8 @@ class QueryService:
         block_timeout: Optional[float] = None,
         default_deadline: Optional[float] = None,
         clock=time.monotonic,
+        slow_tick_threshold: Optional[float] = None,
+        flight_capacity: int = 16,
     ):
         self._engine = (
             engine
@@ -263,6 +290,37 @@ class QueryService:
             else TiltEngine(workers=workers, executor_kind=executor_kind)
         )
         self._owns_engine = engine is None
+        self._tracer = self._engine.tracer
+        self._recorder: Optional[FlightRecorder] = (
+            FlightRecorder(
+                capacity_per_tenant=flight_capacity,
+                slow_tick_threshold=slow_tick_threshold,
+            )
+            if self._tracer.enabled
+            else None
+        )
+        registry = self._engine.registry
+        self._m_shed = registry.counter(
+            "repro_shed_events_total", "Events dropped by admission overload shedding"
+        )
+        self._m_rejected = registry.counter(
+            "repro_rejected_tenants_total", "Tenant submissions refused by admission"
+        )
+        self._m_failures = registry.counter(
+            "repro_tenant_failures_total", "Tenants moved to FAILED by the isolation boundary"
+        )
+        self._g_active = registry.gauge(
+            "repro_active_tenants", "Tenants currently in the ACTIVE state"
+        )
+        self._g_queue = registry.gauge(
+            "repro_queue_depth", "Events queued service-wide awaiting ingestion"
+        )
+        self._g_fairness = registry.gauge(
+            "repro_fairness_index", "Jain fairness index over weighted tenant busy time"
+        )
+        self._g_escalations = registry.gauge(
+            "repro_scheduler_escalations", "Deadline escalations taken by the scheduler"
+        )
         if isinstance(policy, str):
             policy = make_policy(policy)
         self._scheduler = TickScheduler(policy)
@@ -292,6 +350,11 @@ class QueryService:
     @property
     def engine(self) -> TiltEngine:
         return self._engine
+
+    @property
+    def recorder(self) -> Optional[FlightRecorder]:
+        """The flight recorder (``None`` when the engine is not tracing)."""
+        return self._recorder
 
     @property
     def policy_name(self) -> str:
@@ -349,9 +412,13 @@ class QueryService:
                 raise ExecutionError("service is closed")
             # reserved names count as live so concurrent submits cannot
             # overshoot the tenant limit while one of them is compiling
-            self._admission.admit_tenant(
-                len(self.active_tenants()) + len(self._reserved)
-            )
+            try:
+                self._admission.admit_tenant(
+                    len(self.active_tenants()) + len(self._reserved)
+                )
+            except Exception:
+                self._m_rejected.inc()
+                raise
             self._counter += 1
             index = self._counter
             tenant_name = name if name is not None else f"tenant-{index}"
@@ -383,6 +450,7 @@ class QueryService:
                 retain_output=retain_output,
                 max_events_per_tick=max_events_per_tick,
                 incremental=incremental,
+                trace_attrs={"tenant": tenant_name},
             )
         except BaseException:
             with self._lock:
@@ -460,6 +528,8 @@ class QueryService:
         # blocking push must happen outside the lock: the scheduler needs
         # the lock to select the tick that will drain this very queue
         accepted, shed = self._admission.offer(source, events, timeout=timeout)
+        if shed:
+            self._m_shed.inc(shed)
         with self._lock:
             tenant = self._tenant(name)
             tenant.shed_events += shed
@@ -522,20 +592,83 @@ class QueryService:
         is ready (the service is idle).  Call from a single scheduling
         thread — or use :meth:`start` for a managed background one.
         """
+        tracer = self._tracer
         while True:
+            step_span = None
             with self._lock:
                 if self._closed:
                     raise ExecutionError("service is closed")
                 ready = [t for t in self._tenants.values() if t.ready]
                 if not ready:
                     return None
-                tenant = self._scheduler.select(ready, self._clock())
-                dirty_seq = tenant._dirty_seq
-            result = self._advance(tenant, dirty_seq)
+                # the step span is opened/closed by hand: it must start
+                # under the lock (so scheduler.select nests beneath it) but
+                # outlive the lock to cover the tick itself
+                step_span = tracer.span("service.step")
+                step_span.__enter__()
+                try:
+                    with tracer.span("scheduler.select", ready=len(ready)) as sel:
+                        tenant = self._scheduler.select(ready, self._clock())
+                        sel.set(tenant=tenant.name)
+                    dirty_seq = tenant._dirty_seq
+                except BaseException:
+                    step_span.__exit__(None, None, None)
+                    raise
+            try:
+                result = self._advance(tenant, dirty_seq)
+                step_span.set(tenant=tenant.name, advanced=result is not None)
+            finally:
+                step_span.__exit__(None, None, None)
+            if self._recorder is not None:
+                self._record_flight(tenant)
             if result is not None:
                 return result
             # the selected tenant failed (or was cancelled mid-flight) and
             # left the ready set — idle only means *no one* is ready
+
+    def _record_flight(self, tenant: TenantSession) -> None:
+        """Drain the tracer and fold the tick's spans into the recorder.
+
+        Safe because one scheduling thread runs ticks: everything drained
+        here belongs to the step that just ran (plus, at worst, compile
+        spans from a concurrent submit — the recorder roots the tick tree
+        at the ``session.tick`` span, so those ride along harmlessly).
+        """
+        records = self._tracer.drain()
+        if not records:
+            return
+        # kernel/source context is computed once per tenant (digesting a
+        # spec pickles it) and shared by every pin of that tenant
+        context = tenant._flight_context
+        if context is None:
+            context = tenant._flight_context = self._flight_context(tenant)
+        pinned = self._recorder.record_tick(tenant.name, records, context=context)
+        if pinned is not None:
+            _LOG.warning(
+                "slow tick pinned: tenant=%s tick=%s duration=%.1f ms",
+                pinned.tenant,
+                pinned.tick_index,
+                pinned.duration * 1e3,
+            )
+
+    @staticmethod
+    def _flight_context(tenant: TenantSession) -> Dict[str, object]:
+        """Kernel/source evidence attached to this tenant's pinned ticks."""
+        compiled = getattr(tenant.session, "_compiled", None)
+        if compiled is None:
+            return {"output": tenant.session.program.output, "mode": "interpreted"}
+        kernels: Dict[str, str] = {}
+        for k in compiled.kernels:
+            try:
+                kernels[k.name] = k.spec.digest()[:12]
+            except Exception:  # unpicklable custom aggregates have no digest
+                kernels[k.name] = "unpicklable"
+        return {
+            "output": compiled.output,
+            "incremental": tenant.session.incremental,
+            "kernels": kernels,
+            "generated_source": compiled.sources(),
+        }
 
     def _advance(self, tenant: TenantSession, dirty_seq: int) -> Optional[TickResult]:
         session = tenant.session
@@ -547,6 +680,7 @@ class QueryService:
                 result = session.tick()
                 finished = False
         except Exception as exc:  # noqa: BLE001 - tenant isolation boundary
+            formatted = traceback_module.format_exc()
             with self._lock:
                 if tenant.state == CANCELLED:
                     return None  # cancelled between select and tick
@@ -554,12 +688,24 @@ class QueryService:
                 # out-of-order push, a broken custom source) must not take
                 # down the scheduling loop or starve the other tenants —
                 # mark it failed, keep its emitted output collectable,
-                # release its producers, move on
+                # release its producers, move on.  The failure is *not*
+                # silent: the formatted traceback is retained on the tenant
+                # (surfaced by describe()/stats()) and reported through the
+                # ``repro.serve`` logger.
                 tenant.error = exc
+                tenant.traceback = formatted
                 tenant.state = FAILED
                 tenant.session.abort()
                 tenant.close_inputs()
                 self._scheduler.remove(tenant)
+                self._m_failures.inc()
+            _LOG.error(
+                "tenant %r failed during tick %d and was isolated: %r",
+                tenant.name,
+                tenant.ticks_scheduled,
+                exc,
+                exc_info=exc,
+            )
             return None
         now = self._clock()
         with self._lock:
@@ -682,6 +828,12 @@ class QueryService:
             queue_depths={n: t.queue_depth for n, t in tenants},
             shed_events={n: t.shed_events for n, t in tenants},
         )
+        # push the point-in-time fleet numbers into the registry gauges so
+        # a Prometheus scrape of engine.registry sees the serving layer too
+        self._g_active.set(float(fleet.active_tenants))
+        self._g_queue.set(float(fleet.queue_depth))
+        self._g_fairness.set(fleet.fairness)
+        self._g_escalations.set(float(escalations))
         return ServiceStats(
             policy=policy,
             ticks_dispatched=ticks_dispatched,
@@ -690,6 +842,7 @@ class QueryService:
             rejected_tenants=rejected,
             fleet=fleet,
             tenants={n: t.describe() for n, t in tenants},
+            flight=self._recorder.summary() if self._recorder is not None else None,
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,496 @@
+"""Observability layer: tracing, metrics registry, exporters, flight recorder.
+
+Two properties anchor this suite:
+
+* **Zero interference** — tracing must never alter query output: traced
+  runs are byte-identical to untraced ones on every backend, and the
+  disabled tracer produces no records at all.
+* **Well-formed evidence** — enabled tracing yields structurally sound span
+  trees per tick (session.tick → tick.ingest / tick.emit → executor
+  dispatch → kernel partitions), the registry exports parse as Prometheus
+  text / JSON, and the flight recorder pins slow ticks with their kernel
+  context.
+"""
+
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.apps import get_application
+from repro.core.runtime.engine import TiltEngine
+from repro.core.runtime.stream import Event
+from repro.datagen.sources import sources_for_streams
+from repro.metrics.streaming import LatencyDistribution, SessionMetrics
+from repro.obs import (
+    NULL_TRACER,
+    FlightRecorder,
+    MetricsRegistry,
+    SpanRecord,
+    Tracer,
+    build_span_trees,
+    chrome_trace_json,
+    make_tracer,
+    to_chrome_trace,
+)
+from repro.serve.service import QueryService
+
+APP_EVENTS = 600
+
+
+def run_traced_session(engine, app_name="trading", events=APP_EVENTS, per_poll=200):
+    app = get_application(app_name)
+    streams = app.streams(events, seed=7)
+    session = engine.open_session(
+        app.program(), sources_for_streams(streams, events_per_poll=per_poll)
+    )
+    session.run_to_exhaustion()
+    return session
+
+
+# ---------------------------------------------------------------------- #
+# tracer core
+# ---------------------------------------------------------------------- #
+class TestTracer:
+    def test_nesting_produces_parent_linkage(self):
+        tracer = Tracer()
+        with tracer.span("outer", k=1):
+            with tracer.span("inner"):
+                pass
+        records = tracer.drain()
+        by_name = {r.name: r for r in records}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+        assert by_name["outer"].attrs == {"k": 1}
+
+    def test_set_attaches_attrs_mid_span(self):
+        tracer = Tracer()
+        with tracer.span("work") as sp:
+            sp.set(partitions=4)
+        (record,) = tracer.drain()
+        assert record.attrs["partitions"] == 4
+
+    def test_drain_is_destructive_and_start_ordered(self):
+        tracer = Tracer()
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        records = tracer.drain()
+        assert [r.name for r in records] == [f"s{i}" for i in range(5)]
+        assert records == sorted(records, key=lambda r: r.start)
+        assert tracer.drain() == []
+
+    def test_snapshot_is_non_destructive(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        assert len(tracer.snapshot()) == 1
+        assert len(tracer.snapshot()) == 1
+        assert len(tracer.drain()) == 1
+
+    def test_exception_unwinding_pops_stack(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert tracer.current_span_id() is None
+        names = {r.name for r in tracer.drain()}
+        assert names == {"outer", "inner"}
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = Tracer()
+        with tracer.span("dispatch") as sp:
+            parent = tracer.current_span_id()
+        with tracer.span("worker", parent=parent):
+            pass
+        by_name = {r.name: r for r in tracer.drain()}
+        assert by_name["worker"].parent_id == by_name["dispatch"].span_id
+
+    def test_cross_thread_records_collected(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(4)  # idents are unique only while alive
+
+        def work():
+            with tracer.span("threaded"):
+                barrier.wait(timeout=10)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        records = tracer.drain()
+        assert len(records) == 4
+        assert len({r.thread_id for r in records}) == 4
+
+    def test_buffer_is_bounded(self):
+        tracer = Tracer(max_spans_per_thread=8)
+        for _ in range(50):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.drain()) == 8
+
+    def test_adopt_reparents_shipped_roots(self):
+        tracer = Tracer()
+        shipped = [
+            SpanRecord("kernel.partition", "fff-w1", None, 1.0, 0.1, 0.1, {}, 1, 999),
+            SpanRecord("kernel.sub", "fff-w2", "fff-w1", 1.01, 0.05, 0.05, {}, 1, 999),
+        ]
+        with tracer.span("executor.dispatch"):
+            tracer.adopt(shipped)
+        trees = build_span_trees(tracer.drain())
+        (root,) = trees
+        assert root.name == "executor.dispatch"
+        assert root.find("kernel.partition")
+        # the shipped child keeps its worker-side parent
+        assert root.find("kernel.sub")[0].record.parent_id == "fff-w1"
+
+    def test_make_tracer_resolution(self, monkeypatch):
+        assert make_tracer(False) is NULL_TRACER
+        assert make_tracer(True).enabled
+        existing = Tracer()
+        assert make_tracer(existing) is existing
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert make_tracer(None) is NULL_TRACER
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert make_tracer(None).enabled
+        with pytest.raises(TypeError):
+            make_tracer(42)
+
+    def test_null_tracer_records_nothing(self):
+        sp = NULL_TRACER.span("anything", k=1)
+        with sp as inner:
+            inner.set(more=2)
+        assert NULL_TRACER.drain() == []
+        assert NULL_TRACER.snapshot() == []
+        # one shared span instance: the disabled path allocates nothing
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+# ---------------------------------------------------------------------- #
+# metrics registry + exporters
+# ---------------------------------------------------------------------- #
+class TestRegistry:
+    def test_counter_gauge_histogram_round_trip(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_things_total", "things", backend="thread")
+        c.inc()
+        c.inc(2)
+        g = reg.gauge("repro_depth", "queue depth")
+        g.set(5)
+        g.dec(2)
+        h = reg.histogram("repro_lat_seconds", "latency", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        assert c.value == 3
+        assert g.value == 3
+        assert h.count == 3 and h.sum == pytest.approx(5.55)
+        # cumulative buckets, +inf last
+        assert h.bucket_counts() == [(0.1, 1), (1.0, 2), (float("inf"), 3)]
+
+    def test_same_identity_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_x_total", backend="a")
+        b = reg.counter("repro_x_total", backend="a")
+        other = reg.counter("repro_x_total", backend="b")
+        assert a is b and a is not other
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_dual")
+        with pytest.raises(ValueError):
+            reg.gauge("repro_dual")
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("repro_n_total").inc(-1)
+
+    def test_prometheus_text_parses(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_evil_total", 'he said "hi"\nthere', label='va"l').inc()
+        reg.histogram("repro_h_seconds", "h", buckets=(0.5,)).observe(0.1)
+        text = reg.to_prometheus()
+        assert text.endswith("\n")
+        seen_types = {}
+        for line in text.splitlines():
+            assert line, "no blank lines in exposition"
+            if line.startswith("# TYPE"):
+                _, _, name, kind = line.split(" ")
+                seen_types[name] = kind
+                continue
+            if line.startswith("#"):
+                continue
+            # every sample line is "<name and labels> <value>"
+            body, value = line.rsplit(" ", 1)
+            float(value)
+        assert seen_types == {
+            "repro_evil_total": "counter",
+            "repro_h_seconds": "histogram",
+        }
+        assert 'le="0.5"' in text and 'le="+Inf"' in text
+        assert "repro_h_seconds_sum" in text and "repro_h_seconds_count" in text
+
+    def test_json_export_is_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total").inc(7)
+        reg.histogram("repro_b_seconds").observe(0.2)
+        doc = json.loads(reg.to_json_str())
+        assert doc["repro_a_total"]["series"][0]["value"] == 7
+        assert doc["repro_b_seconds"]["series"][0]["count"] == 1
+
+
+class TestChromeTrace:
+    def test_events_load_and_are_time_ordered(self):
+        tracer = Tracer()
+        with tracer.span("outer", tenant="t"):
+            with tracer.span("inner"):
+                pass
+        doc = json.loads(chrome_trace_json(tracer.drain()))
+        events = doc["traceEvents"]
+        assert [e["name"] for e in events] == ["outer", "inner"]
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+        outer = events[0]
+        assert outer["ph"] == "X"
+        assert outer["cat"] == "outer"
+        assert outer["args"]["tenant"] == "t"
+        assert "cpu_time_ms" in outer["args"]
+        assert events[1]["args"]["parent_id"] == outer["args"]["span_id"]
+
+
+# ---------------------------------------------------------------------- #
+# engine/session instrumentation
+# ---------------------------------------------------------------------- #
+class TestInstrumentation:
+    @pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+    def test_span_trees_per_tick_across_backends(self, kind):
+        with TiltEngine(workers=2, executor_kind=kind, trace=True) as engine:
+            run_traced_session(engine)
+            records = engine.tracer.drain()
+            trees = build_span_trees(records)
+            tick_trees = [t for t in trees if t.name == "session.tick"]
+            assert tick_trees, "no tick spans recorded"
+            emitting = [t for t in tick_trees if t.find("tick.emit")]
+            assert emitting, "no tick emitted output"
+            # every regular tick ingests; the closing flush may not
+            regular = [t for t in tick_trees if "closing" not in t.record.attrs]
+            assert regular and all(t.find("tick.ingest") for t in regular)
+            for tree in emitting:
+                dispatches = tree.find("executor.dispatch")
+                assert dispatches
+                assert dispatches[0].record.attrs["backend"] == kind
+                kernels = tree.find("kernel.partition")
+                assert kernels
+                for k in kernels:
+                    assert "kernel_digest" in k.record.attrs
+                    if kind == "process":
+                        # worker-side spans carry the worker's pid
+                        assert k.record.pid != tree.record.pid
+
+    @pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+    def test_traced_output_byte_identical(self, kind):
+        app = get_application("trading")
+        streams = app.streams(APP_EVENTS, seed=3)
+        outputs = []
+        for trace in (False, True):
+            with TiltEngine(workers=2, executor_kind=kind, trace=trace) as engine:
+                session = engine.open_session(
+                    app.program(), sources_for_streams(streams, events_per_poll=200)
+                )
+                session.run_to_exhaustion()
+                outputs.append(session.result().output)
+        assert outputs[0] == outputs[1]
+
+    def test_trace_env_var_enables_and_is_equivalent(self, monkeypatch):
+        app = get_application("normalize")
+        streams = app.streams(APP_EVENTS, seed=5)
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        with TiltEngine(workers=1) as engine:
+            plain = engine.run(app.program(), streams)
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        with TiltEngine(workers=1) as engine:
+            assert engine.tracer.enabled
+            traced = engine.run(app.program(), streams)
+            assert engine.tracer.drain()
+        assert plain.output == traced.output
+
+    def test_disabled_mode_records_zero_spans(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        with TiltEngine(workers=2) as engine:
+            run_traced_session(engine)
+            assert engine.tracer is NULL_TRACER
+            assert engine.tracer.drain() == []
+        # an explicit opt-out beats the environment (matters under the
+        # REPRO_TRACE=1 CI matrix entry)
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        with TiltEngine(workers=2, trace=False) as engine:
+            run_traced_session(engine)
+            assert engine.tracer is NULL_TRACER
+
+    def test_incremental_tick_spans_and_state_counters(self):
+        with TiltEngine(workers=1, trace=True, incremental=True) as engine:
+            run_traced_session(engine)
+            records = engine.tracer.drain()
+            names = {r.name for r in records}
+            assert "emit.incremental" in names
+            assert "executor.dispatch" not in names
+            doc = engine.registry.to_json()
+            hits = doc["repro_incremental_state_hits_total"]["series"][0]["value"]
+            misses = doc["repro_incremental_state_misses_total"]["series"][0]["value"]
+            assert misses >= 1
+            assert hits >= 1  # every tick after the first reuses state
+
+    def test_registry_sees_engine_and_session_counters(self):
+        with TiltEngine(workers=1, trace=True) as engine:
+            program = get_application("trading").program()
+            engine.compile_cached(program)
+            engine.compile_cached(program)  # same object: a cache hit
+            run_traced_session(engine)
+            doc = engine.registry.to_json()
+            assert doc["repro_compile_cache_misses_total"]["series"][0]["value"] >= 1
+            assert doc["repro_compile_cache_hits_total"]["series"][0]["value"] >= 1
+            assert doc["repro_ticks_total"]["series"][0]["value"] >= 1
+            assert doc["repro_tick_seconds"]["series"][0]["count"] >= 1
+            backends = {
+                tuple(s["labels"].items())
+                for s in doc["repro_kernel_seconds_total"]["series"]
+            }
+            assert (("backend", "serial"),) in backends
+
+
+class TestSessionMetricsRegistry:
+    def test_quantiles_single_snapshot(self):
+        dist = LatencyDistribution(capacity=16)
+        for v in (0.1, 0.2, 0.3, 0.4):
+            dist.record(v)
+        p50, p99 = dist.quantiles([50.0, 99.0])
+        assert p50 == pytest.approx(dist.percentile(50.0))
+        assert p99 == pytest.approx(dist.percentile(99.0))
+        assert LatencyDistribution().quantiles([50.0, 95.0]) == [0.0, 0.0]
+
+    def test_bind_registry_single_write_path(self):
+        reg = MetricsRegistry()
+        m = SessionMetrics()
+        m.bind_registry(reg)
+        m.record_tick(input_events=10, output_snapshots=3, seconds=0.01)
+        m.record_tick(input_events=0, output_snapshots=0, seconds=0.001, emitted=False)
+        doc = reg.to_json()
+        assert doc["repro_ticks_total"]["series"][0]["value"] == 2
+        assert doc["repro_empty_ticks_total"]["series"][0]["value"] == 1
+        assert doc["repro_ingested_events_total"]["series"][0]["value"] == 10
+        assert doc["repro_tick_seconds"]["series"][0]["count"] == 2
+        # the local view stays authoritative and identical
+        assert m.ticks == 2 and m.input_events == 10
+
+
+# ---------------------------------------------------------------------- #
+# flight recorder + service wiring
+# ---------------------------------------------------------------------- #
+class TestFlightRecorder:
+    @staticmethod
+    def tick_records(tracer, duration_name="session.tick", tick=0):
+        with tracer.span(duration_name, tick=tick):
+            pass
+        return tracer.drain()
+
+    def test_ring_is_bounded(self):
+        recorder = FlightRecorder(capacity_per_tenant=2)
+        tracer = Tracer()
+        for i in range(5):
+            recorder.record_tick("t", self.tick_records(tracer, tick=i))
+        recent = recorder.recent("t")
+        assert len(recent) == 2
+        assert recorder.summary()["tenants"]["t"]["ticks_recorded"] == 5
+
+    def test_threshold_pins_with_context(self):
+        recorder = FlightRecorder(slow_tick_threshold=1e-9, max_pinned=2)
+        tracer = Tracer()
+        for i in range(4):
+            pinned = recorder.record_tick(
+                "t", self.tick_records(tracer, tick=i), context={"output": "q"}
+            )
+            assert pinned is not None
+            assert pinned.tick_index == i
+            assert pinned.context == {"output": "q"}
+        assert len(recorder.pinned()) == 2  # bounded evidence
+        summary = recorder.summary()
+        assert summary["tenants"]["t"]["slow_ticks"] == 4
+        assert summary["pinned_slow_ticks"][-1]["tick_index"] == 3
+
+    def test_no_threshold_never_pins(self):
+        recorder = FlightRecorder()
+        tracer = Tracer()
+        assert recorder.record_tick("t", self.tick_records(tracer)) is None
+        assert recorder.pinned() == []
+
+    def test_chrome_trace_export(self):
+        recorder = FlightRecorder()
+        tracer = Tracer()
+        recorder.record_tick("t", self.tick_records(tracer))
+        doc = recorder.to_chrome_trace("t")
+        assert doc["traceEvents"]
+        json.dumps(doc)
+
+    def test_service_pins_slow_ticks_into_stats(self):
+        app = get_application("trading")
+        with TiltEngine(workers=1, trace=True) as engine:
+            with QueryService(engine, slow_tick_threshold=1e-9) as service:
+                streams = app.streams(APP_EVENTS, seed=2)
+                service.submit(
+                    app.program(),
+                    name="slow",
+                    sources=sources_for_streams(streams, events_per_poll=200),
+                )
+                service.run_until_idle(max_ticks=50)
+                stats = service.stats()
+                assert stats.flight is not None
+                assert stats.flight["tenants"]["slow"]["slow_ticks"] >= 1
+                (pin, *_) = stats.flight["pinned_slow_ticks"]
+                assert pin["tenant"] == "slow"
+                assert "generated_source" in pin["context"]
+                assert pin["span_tree"]["children"], "pinned tree lost its children"
+                # tenant attribution flows from submit() into the spans
+                tick = service.recorder.recent("slow")[-1].find("session.tick")[0]
+                assert tick.record.attrs["tenant"] == "slow"
+
+    def test_untraced_service_has_no_recorder(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        with QueryService(workers=1) as service:
+            assert service.recorder is None
+            assert service.stats().flight is None
+
+
+class TestTenantFailureSurfacing:
+    def test_traceback_retained_and_logged(self, caplog):
+        app = get_application("trading")
+        with QueryService(workers=1) as service:
+            service.submit(app.program(), name="bad")
+            # structured payload into a scalar input fails inside the tick
+            service.ingest("bad", [Event(1.0, 2.0, {"junk": 1.0})], stream="stock")
+            with caplog.at_level(logging.ERROR, logger="repro.serve"):
+                service.run_until_idle(max_ticks=5)
+            row = service.stats().tenants["bad"]
+            assert row["state"] == "failed"
+            assert row["error"]
+            assert "Traceback (most recent call last)" in row["traceback"]
+            assert "QueryBuildError" in row["traceback"]
+            failures = service.engine.registry.to_json()[
+                "repro_tenant_failures_total"
+            ]["series"][0]["value"]
+            assert failures == 1
+            assert any("isolated" in r.message for r in caplog.records)
+
+    def test_healthy_tenant_has_empty_traceback(self):
+        app = get_application("trading")
+        with QueryService(workers=1) as service:
+            streams = app.streams(200, seed=1)
+            service.submit(
+                app.program(),
+                name="ok",
+                sources=sources_for_streams(streams, events_per_poll=100),
+            )
+            service.run_until_idle(max_ticks=20)
+            assert service.stats().tenants["ok"]["traceback"] == ""
