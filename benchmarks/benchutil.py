@@ -15,13 +15,85 @@ commits:
 from __future__ import annotations
 
 import json
+import os
 import platform
+import socket
+import subprocess
 import sys
+import time
 from typing import Dict, List, Optional
 
 #: machine-readable results collected during this process (one dict per
 #: benchmark row; see :func:`record_result` for the schema)
 RECORDS: List[dict] = []
+
+#: the engine-behaviour env knobs worth recording with a perf number — a
+#: result measured under the process executor or incremental ticks is not
+#: comparable to one measured without
+_ENV_KNOBS = ("REPRO_EXECUTOR", "REPRO_INCREMENTAL", "REPRO_TRACE")
+
+_METADATA: Optional[dict] = None
+
+
+def _git_sha() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except Exception:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def hardware_score(repeats: int = 5) -> float:
+    """A dimensionless single-core speed score for this machine.
+
+    Times a small fixed NumPy kernel (best-of-``repeats``, so scheduler
+    noise only ever makes the machine look *slower*) and returns work per
+    second, scaled so ~1.0 lands on a mid-range 2020s core.  Recorded into
+    every result file, it lets :mod:`check_regression` compare a number
+    measured on a laptop against a baseline seeded in CI: throughput is
+    expected to scale roughly with this score, and the gate calibrates by
+    the ratio instead of hard-failing on hardware difference.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal(200_000)
+    b = rng.standard_normal(200_000)
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        c = np.cumsum(a * b)
+        s = float(np.sort(c)[::4].sum())
+        best = min(best, time.perf_counter() - t0)
+        assert s == s  # keep the work observable
+    return round(0.002 / best, 3)
+
+
+def run_metadata(refresh: bool = False) -> dict:
+    """Provenance of this benchmark process, computed once and attached to
+    every recorded row: a result file must identify the commit, machine and
+    engine configuration it was measured under to be comparable later."""
+    global _METADATA
+    if _METADATA is None or refresh:
+        import numpy as np
+
+        _METADATA = {
+            "git_sha": _git_sha(),
+            "hostname": socket.gethostname(),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "env": {k: os.environ[k] for k in _ENV_KNOBS if k in os.environ},
+            "hardware_score": hardware_score(),
+        }
+    return dict(_METADATA)
 
 
 def record_result(
@@ -47,6 +119,7 @@ def record_result(
         "events": events,
         "events_per_sec": events_per_sec,
         "latency_percentiles": dict(latency_percentiles or {}),
+        "meta": run_metadata(),
     }
     if extra:
         record["extra"] = dict(extra)
@@ -59,6 +132,7 @@ def write_json(path: str, records: Optional[List[dict]] = None) -> None:
     payload = {
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "meta": run_metadata(),
         "results": list(RECORDS if records is None else records),
     }
     with open(path, "w") as fh:

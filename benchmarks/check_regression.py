@@ -1,0 +1,200 @@
+"""Perf-regression gate: compare a benchmark result file against a baseline.
+
+The benchmark scripts record machine-readable rows (``--json`` /
+``--bench-json``; see :mod:`benchutil`).  This script compares a freshly
+measured file against a committed baseline and **fails** (exit code 1)
+when any shared benchmark's throughput dropped past the tolerance — so a
+change that quietly costs 20% of sustained events/sec is caught by CI
+instead of discovered three PRs later in a perf trajectory plot.
+
+Rows are matched by ``(name, params)``; a row present in the baseline but
+missing from the current run also fails (silently dropping a benchmark
+must not read as "no regressions").  Rows only the current file has are
+reported but never fail — adding benchmarks is how the baseline grows.
+
+Hardware calibration: machines differ, and a baseline seeded in CI would
+otherwise hard-fail on any slower laptop.  Both files carry the
+``hardware_score`` of the machine that produced them (a fixed NumPy
+kernel timed at import of :func:`benchutil.run_metadata`); the expected
+throughput is scaled by the score ratio (clamped, so a bogus score cannot
+waive the gate entirely) before the tolerance applies.
+
+Usage::
+
+    python benchmarks/bench_sustained_throughput.py --quick --json current.json
+    python benchmarks/check_regression.py benchmarks/results/baseline_sustained.json current.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+#: throughput may drop this fraction below the (calibrated) baseline
+DEFAULT_TOLERANCE = 0.15
+
+#: the hardware-score ratio is clamped to this band: outside it the two
+#: machines are too different for linear scaling to mean anything, and an
+#: uncalibratable comparison should stay strict rather than waive itself
+CALIBRATION_CLAMP = (0.25, 4.0)
+
+_Key = Tuple[str, str]
+
+
+def load_results(path: str) -> Tuple[Dict[_Key, dict], dict]:
+    """Read a benchutil JSON file: ``({(name, params_key): row}, meta)``."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    rows: Dict[_Key, dict] = {}
+    for row in doc.get("results", []):
+        key = (row.get("name", "?"), json.dumps(row.get("params", {}), sort_keys=True))
+        rows[key] = row
+    return rows, doc.get("meta", {})
+
+
+def calibration_factor(
+    baseline_meta: dict,
+    current_meta: dict,
+    *,
+    clamp: Tuple[float, float] = CALIBRATION_CLAMP,
+) -> float:
+    """Expected current/baseline throughput ratio from the hardware scores.
+
+    1.0 when either file predates the score (no calibration — strict
+    comparison); otherwise ``current_score / baseline_score`` clamped to
+    ``clamp``.
+    """
+    base = baseline_meta.get("hardware_score")
+    cur = current_meta.get("hardware_score")
+    if not base or not cur:
+        return 1.0
+    ratio = float(cur) / float(base)
+    return max(clamp[0], min(clamp[1], ratio))
+
+
+def compare(
+    baseline: Dict[_Key, dict],
+    current: Dict[_Key, dict],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    calibration: float = 1.0,
+) -> List[dict]:
+    """One finding per baseline row (plus a note per new current-only row).
+
+    A row fails when ``current < baseline * calibration * (1 - tolerance)``
+    on ``events_per_sec``; baseline rows without a throughput number are
+    informational only.
+    """
+    if not (0.0 <= tolerance < 1.0):
+        raise ValueError("tolerance must be in [0, 1)")
+    findings: List[dict] = []
+    for key, base_row in sorted(baseline.items()):
+        name, params_key = key
+        base_eps = base_row.get("events_per_sec")
+        finding = {
+            "name": name,
+            "params": base_row.get("params", {}),
+            "baseline_events_per_sec": base_eps,
+        }
+        cur_row = current.get(key)
+        if cur_row is None:
+            finding.update(status="missing", detail="benchmark absent from current run")
+            findings.append(finding)
+            continue
+        cur_eps = cur_row.get("events_per_sec")
+        finding["current_events_per_sec"] = cur_eps
+        if base_eps is None or cur_eps is None:
+            finding.update(status="info", detail="no throughput number to compare")
+            findings.append(finding)
+            continue
+        floor = float(base_eps) * calibration * (1.0 - tolerance)
+        finding["floor_events_per_sec"] = floor
+        finding["ratio"] = float(cur_eps) / (float(base_eps) * calibration)
+        if float(cur_eps) < floor:
+            finding.update(
+                status="fail",
+                detail=(
+                    f"throughput {cur_eps:,.0f} ev/s below floor {floor:,.0f} "
+                    f"(baseline {base_eps:,.0f} × calibration {calibration:.2f} "
+                    f"× (1 − {tolerance:.2f}))"
+                ),
+            )
+        else:
+            finding.update(status="pass", detail="")
+        findings.append(finding)
+    for key in sorted(set(current) - set(baseline)):
+        findings.append(
+            {
+                "name": key[0],
+                "params": current[key].get("params", {}),
+                "status": "new",
+                "detail": "not in baseline (informational)",
+                "current_events_per_sec": current[key].get("events_per_sec"),
+            }
+        )
+    return findings
+
+
+def check(
+    baseline_path: str,
+    current_path: str,
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    calibrate: bool = True,
+) -> Tuple[bool, List[dict], float]:
+    """Load, calibrate and compare; ``(ok, findings, calibration_factor)``."""
+    baseline, base_meta = load_results(baseline_path)
+    current, cur_meta = load_results(current_path)
+    factor = calibration_factor(base_meta, cur_meta) if calibrate else 1.0
+    findings = compare(baseline, current, tolerance=tolerance, calibration=factor)
+    ok = not any(f["status"] in ("fail", "missing") for f in findings)
+    return ok, findings, factor
+
+
+def _format_finding(f: dict) -> str:
+    mark = {"pass": "ok  ", "fail": "FAIL", "missing": "MISS", "new": "new ", "info": "info"}
+    line = f"[{mark.get(f['status'], '????')}] {f['name']} {f.get('params', {})}"
+    if f.get("ratio") is not None:
+        line += f"  {f['ratio'] * 100:.1f}% of calibrated baseline"
+    if f.get("detail"):
+        line += f"  — {f['detail']}"
+    return line
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("baseline", help="committed baseline JSON (benchutil schema)")
+    parser.add_argument("current", help="freshly measured JSON to gate")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional throughput drop (default %(default)s)",
+    )
+    parser.add_argument(
+        "--no-calibrate",
+        action="store_true",
+        help="skip hardware-score calibration (strict same-machine compare)",
+    )
+    args = parser.parse_args(argv)
+    ok, findings, factor = check(
+        args.baseline,
+        args.current,
+        tolerance=args.tolerance,
+        calibrate=not args.no_calibrate,
+    )
+    print(f"calibration factor (current/baseline hardware): {factor:.3f}")
+    for f in findings:
+        print(_format_finding(f))
+    failed = [f for f in findings if f["status"] in ("fail", "missing")]
+    print(
+        f"{len(findings)} finding(s), {len(failed)} failing "
+        f"(tolerance {args.tolerance:.0%})"
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

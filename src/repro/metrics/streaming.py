@@ -166,6 +166,7 @@ class SessionMetrics:
         self.output_snapshots = 0
         self.busy_seconds = 0.0
         self._registry_sinks = None
+        self._subscribers: List = []
 
     def bind_registry(self, registry) -> None:
         """Publish this session's tick stream into a central
@@ -186,6 +187,25 @@ class SessionMetrics:
             registry.counter("repro_output_snapshots_total", "Output snapshots emitted"),
             registry.histogram("repro_tick_seconds", "Per-tick wall time"),
         )
+
+    def subscribe(self, callback) -> None:
+        """Register an observer invoked after every :meth:`record_tick`.
+
+        The callback receives the tick observation as keyword arguments
+        (``input_events``, ``output_snapshots``, ``seconds``, ``emitted``).
+        This is how derived consumers — the serving layer's SLO monitor —
+        see every tick without a second write path: sessions keep calling
+        ``record_tick`` exactly as before, whether they run standalone or
+        under a service.  Callbacks run on the recording (scheduling)
+        thread and must be cheap and exception-free.
+        """
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback) -> None:
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
 
     def record_tick(
         self,
@@ -214,6 +234,13 @@ class SessionMetrics:
             if output_snapshots:
                 snaps.inc(int(output_snapshots))
             hist.observe(float(seconds))
+        for callback in self._subscribers:
+            callback(
+                input_events=input_events,
+                output_snapshots=output_snapshots,
+                seconds=seconds,
+                emitted=emitted,
+            )
 
     @property
     def throughput(self) -> float:

@@ -15,8 +15,19 @@ instrumented against the interfaces in this package:
   (:func:`to_chrome_trace`) and span-tree assembly
   (:func:`build_span_trees`);
 * :mod:`repro.obs.recorder` — the :class:`FlightRecorder`: a bounded ring
-  of recent tick span trees per tenant with a slow-tick pinning trigger,
-  surfaced through ``QueryService.stats()``.
+  of recent tick span trees per tenant with a slow-tick pinning trigger
+  (fixed wall-clock or adaptive rolling-p99), surfaced through
+  ``QueryService.stats()``;
+* :mod:`repro.obs.slo` — declarative per-tenant :class:`SLOSpec` service
+  objectives evaluated with multi-window burn-rate logic by an
+  :class:`SLOMonitor` (verdicts ``healthy``/``degraded``/``overloaded``);
+* :mod:`repro.obs.http` — :class:`TelemetryServer`, a zero-dependency
+  stdlib HTTP endpoint serving ``/metrics`` (Prometheus), ``/healthz``
+  (SLO verdict), ``/slo``, ``/tenants`` and ``/trace`` from a background
+  thread;
+* :mod:`repro.obs.logging` — structured JSON log records
+  (:class:`JsonFormatter`) correlated with active span ids
+  (:class:`SpanCorrelationFilter`).
 
 This package sits below every other layer (stdlib + nothing else), so the
 core runtime, codegen, serving and metrics modules can all import it
@@ -34,8 +45,19 @@ Quickstart::
 """
 
 from .export import SpanTree, build_span_trees, chrome_trace_json, to_chrome_trace
+from .http import TelemetryServer
+from .logging import JsonFormatter, SpanCorrelationFilter, configure_json_logging
 from .recorder import FlightRecorder, PinnedTick
 from .registry import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .slo import (
+    DEGRADED,
+    HEALTHY,
+    OVERLOADED,
+    SLOBreach,
+    SLOMonitor,
+    SLOSpec,
+    SLOStatus,
+)
 from .trace import (
     NULL_TRACER,
     NullTracer,
@@ -63,4 +85,15 @@ __all__ = [
     "chrome_trace_json",
     "FlightRecorder",
     "PinnedTick",
+    "SLOSpec",
+    "SLOMonitor",
+    "SLOStatus",
+    "SLOBreach",
+    "HEALTHY",
+    "DEGRADED",
+    "OVERLOADED",
+    "TelemetryServer",
+    "JsonFormatter",
+    "SpanCorrelationFilter",
+    "configure_json_logging",
 ]

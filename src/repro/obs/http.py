@@ -1,0 +1,265 @@
+"""A zero-dependency telemetry endpoint for a running fleet.
+
+Everything the observability layer collects is pull-from-Python until this
+module: scraping a live service meant attaching a debugger or sprinkling
+``print(service.stats())``.  :class:`TelemetryServer` runs a stdlib
+``http.server`` on a background thread and serves the existing exporters
+over HTTP, so a Prometheus scraper, a ``curl`` in a terminal, or a
+load-balancer health check can watch a fleet from outside the process:
+
+========== ============================================================
+Route      Payload
+========== ============================================================
+``/``          JSON index of the available routes
+``/metrics``   Prometheus text exposition (``MetricsRegistry.to_prometheus``)
+``/healthz``   SLO-derived verdict — 200 when ``healthy``, 503 when
+               ``degraded``/``overloaded`` (plain 200 liveness when no
+               SLO engine is attached)
+``/slo``       Full :class:`~repro.obs.slo.SLOStatus` document (JSON)
+``/tenants``   Per-tenant stats rows (JSON)
+``/trace``     Recent ticks as Chrome trace-event JSON
+               (``?tenant=NAME`` filters to one tenant)
+========== ============================================================
+
+The server is deliberately *source-agnostic*: it is constructed from plain
+callables, so it lives below the serving layer (``repro.obs`` imports
+nothing above the stdlib) and anything — a :class:`QueryService`, a bare
+engine, a test stub — can expose itself by passing closures.  Handlers run
+on the ``ThreadingHTTPServer`` worker threads; every provider callable
+must therefore be thread-safe (the registry/SLO/stats paths all are), and
+a callable that raises turns into a 500 response instead of killing the
+server.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+__all__ = ["TelemetryServer"]
+
+_LOG = logging.getLogger("repro.obs.http")
+
+#: content type of the Prometheus text exposition format
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+
+class TelemetryServer:
+    """Serve observability exporters over HTTP from a background thread.
+
+    Parameters
+    ----------
+    metrics:
+        ``() -> str`` — Prometheus text for ``/metrics``.
+    health:
+        ``() -> (status_code, json_dict)`` for ``/healthz``.  ``None``
+        degrades the route to an unconditional 200 liveness check.
+    slo / tenants:
+        ``() -> json_dict`` for ``/slo`` / ``/tenants``; ``None`` makes
+        the route 404.
+    trace:
+        ``(tenant: Optional[str]) -> json_dict`` for ``/trace``.
+    host / port:
+        Bind address.  Port 0 picks an ephemeral port; read the bound one
+        from :attr:`port` after :meth:`start`.  The default host is
+        loopback-only — telemetry is diagnostic surface, exposing it
+        beyond the machine is an explicit decision.
+    """
+
+    def __init__(
+        self,
+        *,
+        metrics: Optional[Callable[[], str]] = None,
+        health: Optional[Callable[[], Tuple[int, Dict[str, object]]]] = None,
+        slo: Optional[Callable[[], Optional[Dict[str, object]]]] = None,
+        tenants: Optional[Callable[[], Dict[str, object]]] = None,
+        trace: Optional[Callable[[Optional[str]], Dict[str, object]]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._providers = {
+            "metrics": metrics,
+            "health": health,
+            "slo": slo,
+            "tenants": tenants,
+            "trace": trace,
+        }
+        self._host = host
+        self._requested_port = int(port)
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        #: requests served, by route (diagnostic; read via :meth:`request_counts`)
+        self._requests: Dict[str, int] = {}
+
+    # -- lifecycle ------------------------------------------------------- #
+    def start(self) -> "TelemetryServer":
+        """Bind the socket and start serving on a daemon thread."""
+        with self._lock:
+            if self._server is not None:
+                return self
+            handler = _make_handler(self)
+            server = ThreadingHTTPServer((self._host, self._requested_port), handler)
+            server.daemon_threads = True
+            self._server = server
+            self._thread = threading.Thread(
+                target=server.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                name="repro-telemetry",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the port (idempotent)."""
+        with self._lock:
+            server, thread = self._server, self._thread
+            self._server = self._thread = None
+        if server is None:
+            return
+        server.shutdown()
+        thread.join()
+        server.server_close()
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port (``None`` before :meth:`start` / after close)."""
+        server = self._server
+        return server.server_address[1] if server is not None else None
+
+    @property
+    def url(self) -> Optional[str]:
+        port = self.port
+        return f"http://{self._host}:{port}" if port is not None else None
+
+    def request_counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._requests)
+
+    def _count(self, route: str) -> None:
+        with self._lock:
+            self._requests[route] = self._requests.get(route, 0) + 1
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = self.url if self.running else "stopped"
+        return f"TelemetryServer({state})"
+
+
+def _make_handler(owner: TelemetryServer):
+    """A handler class bound to one server's providers.
+
+    ``http.server`` instantiates the handler per request; closing over the
+    owner keeps per-server state (providers, counters) without globals.
+    """
+
+    class Handler(BaseHTTPRequestHandler):
+        server_version = "repro-telemetry/1.0"
+        protocol_version = "HTTP/1.1"
+
+        # -- responses -------------------------------------------------- #
+        def _send(self, code: int, content_type: str, body: bytes) -> None:
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_json(self, code: int, doc) -> None:
+            body = json.dumps(doc, sort_keys=True, default=str).encode("utf-8")
+            self._send(code, JSON_CONTENT_TYPE, body)
+
+        def _provider(self, name: str):
+            return owner._providers.get(name)
+
+        # -- routes ------------------------------------------------------ #
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            parsed = urlparse(self.path)
+            route = parsed.path.rstrip("/") or "/"
+            try:
+                if route == "/":
+                    self._index()
+                elif route == "/metrics":
+                    self._metrics()
+                elif route == "/healthz":
+                    self._healthz()
+                elif route == "/slo":
+                    self._json_route("slo")
+                elif route == "/tenants":
+                    self._json_route("tenants")
+                elif route == "/trace":
+                    self._trace(parse_qs(parsed.query))
+                else:
+                    self._send_json(404, {"error": f"unknown route {route!r}"})
+                    return
+                owner._count(route)
+            except BrokenPipeError:  # scraper hung up mid-response
+                pass
+            except Exception as exc:  # noqa: BLE001 - provider isolation
+                _LOG.exception("telemetry provider failed for %s", route)
+                try:
+                    self._send_json(500, {"error": repr(exc)})
+                except Exception:  # headers already sent
+                    pass
+
+        def _index(self) -> None:
+            available = ["/", "/metrics", "/healthz"]
+            if self._provider("slo") is not None:
+                available.append("/slo")
+            if self._provider("tenants") is not None:
+                available.append("/tenants")
+            if self._provider("trace") is not None:
+                available.append("/trace")
+            self._send_json(200, {"routes": available})
+
+        def _metrics(self) -> None:
+            provider = self._provider("metrics")
+            if provider is None:
+                self._send_json(404, {"error": "no metrics provider"})
+                return
+            self._send(200, PROMETHEUS_CONTENT_TYPE, provider().encode("utf-8"))
+
+        def _healthz(self) -> None:
+            provider = self._provider("health")
+            if provider is None:
+                # liveness only: the process is up and serving
+                self._send_json(200, {"status": "ok"})
+                return
+            code, body = provider()
+            self._send_json(code, body)
+
+        def _json_route(self, name: str) -> None:
+            provider = self._provider(name)
+            doc = provider() if provider is not None else None
+            if doc is None:
+                self._send_json(404, {"error": f"no {name} provider"})
+                return
+            self._send_json(200, doc)
+
+        def _trace(self, query: Dict[str, list]) -> None:
+            provider = self._provider("trace")
+            if provider is None:
+                self._send_json(404, {"error": "no trace provider"})
+                return
+            tenant = query.get("tenant", [None])[0]
+            self._send_json(200, provider(tenant))
+
+        def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+            _LOG.debug("%s %s", self.address_string(), fmt % args)
+
+    return Handler

@@ -1,0 +1,116 @@
+"""Structured JSON logging correlated with active trace spans.
+
+The serving layer reports noteworthy events (tenant failures, slow-tick
+pins, SLO breaches) through standard :mod:`logging` loggers.  Production
+embedders aggregate logs as JSON lines and join them against traces; this
+module provides the two pieces that make that work without any third-party
+dependency:
+
+* :class:`JsonFormatter` — renders each record as one JSON object with
+  stable keys (``ts``, ``level``, ``logger``, ``message``) plus every
+  structured field the call site attached via ``extra=``.  Fields are
+  discovered by diffing against the stock ``LogRecord`` attributes, so
+  call sites just write ``log.error("...", extra={"tenant": name})``.
+* :class:`SpanCorrelationFilter` — stamps each record with the calling
+  thread's innermost active span id (``span_id``), so a log line emitted
+  inside a traced tick can be joined to its span tree in the Chrome trace
+  export.  With tracing disabled the filter stamps ``None`` and costs a
+  method call.
+
+:func:`configure_json_logging` wires both onto the ``repro`` logger tree::
+
+    from repro.obs.logging import configure_json_logging
+    configure_json_logging(tracer=engine.tracer)
+
+Log output then looks like::
+
+    {"ts": 1723111845.1, "level": "ERROR", "logger": "repro.serve",
+     "message": "tenant 'ysb-3' failed ...", "tenant": "ysb-3",
+     "tick": 17, "span_id": "1a2b-3f"}
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from typing import Optional
+
+__all__ = ["JsonFormatter", "SpanCorrelationFilter", "configure_json_logging"]
+
+#: attributes every LogRecord carries; anything else came from ``extra=``
+_STOCK_ATTRS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record, structured fields included.
+
+    ``exc_info`` renders into an ``exception`` field (the formatted
+    traceback) rather than being appended to the message, so a JSON-lines
+    consumer never sees a multi-line record.
+    """
+
+    def __init__(self, *, sort_keys: bool = True):
+        super().__init__()
+        self.sort_keys = sort_keys
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _STOCK_ATTRS or key.startswith("_"):
+                continue
+            doc[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            doc["exception"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=self.sort_keys, default=repr)
+
+
+class SpanCorrelationFilter(logging.Filter):
+    """Attach the calling thread's active span id to every record.
+
+    A :class:`~repro.obs.trace.Tracer` (or the null tracer) is consulted at
+    emit time; records produced outside any span carry ``span_id: None``.
+    An existing ``span_id`` set explicitly via ``extra=`` is preserved.
+    """
+
+    def __init__(self, tracer):
+        super().__init__()
+        self._tracer = tracer
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "span_id"):
+            record.span_id = self._tracer.current_span_id()
+        return True
+
+
+def configure_json_logging(
+    logger_name: str = "repro",
+    *,
+    tracer=None,
+    stream=None,
+    level: int = logging.INFO,
+) -> logging.Handler:
+    """Install a JSON-lines handler (with span correlation) on a logger.
+
+    Returns the handler so an embedder can remove it again.  Idempotent in
+    spirit: an existing handler previously installed by this function on
+    the same logger is replaced, not duplicated.
+    """
+    logger = logging.getLogger(logger_name)
+    for existing in list(logger.handlers):
+        if getattr(existing, "_repro_json_handler", False):
+            logger.removeHandler(existing)
+    handler = logging.StreamHandler(stream)
+    handler._repro_json_handler = True
+    handler.setFormatter(JsonFormatter())
+    if tracer is not None:
+        handler.addFilter(SpanCorrelationFilter(tracer))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

@@ -66,12 +66,22 @@ class PinnedTick:
 
 
 class _TenantRing:
-    __slots__ = ("trees", "ticks_recorded", "slow_ticks")
+    __slots__ = ("trees", "ticks_recorded", "slow_ticks", "durations")
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, history: int):
         self.trees: Deque[SpanTree] = deque(maxlen=capacity)
         self.ticks_recorded = 0
         self.slow_ticks = 0
+        #: rolling tick-duration history driving the adaptive threshold
+        self.durations: Deque[float] = deque(maxlen=history)
+
+    def rolling_p99(self) -> Optional[float]:
+        """The p99 of the retained durations (nearest-rank), or ``None``."""
+        if not self.durations:
+            return None
+        ordered = sorted(self.durations)
+        rank = max(0, -(-len(ordered) * 99 // 100) - 1)  # ceil(0.99 n) - 1
+        return ordered[rank]
 
 
 class FlightRecorder:
@@ -83,33 +93,82 @@ class FlightRecorder:
         Recent tick span trees retained per tenant (ring buffer).
     slow_tick_threshold:
         Root-span duration (seconds) past which a tick is pinned.  ``None``
-        disables pinning; the recent rings still fill.
+        disables pinning; the recent rings still fill.  The string
+        ``"adaptive"`` pins *relative* outliers instead: a tick slower
+        than ``adaptive_multiplier`` times the tenant's rolling p99 — so a
+        quiet fleet whose ticks take microseconds still captures its own
+        outliers, which no sensible fixed wall-clock cutoff would catch.
+    adaptive_multiplier:
+        How far past the tenant's rolling p99 a tick must land to count as
+        an outlier (adaptive mode only).
+    adaptive_min_ticks:
+        Ticks observed per tenant before the adaptive trigger arms — the
+        rolling p99 of three cold-start ticks is noise, not a baseline.
+    adaptive_history:
+        Tick durations retained per tenant for the rolling p99.
     max_pinned:
         Bound on retained :class:`PinnedTick` evidence (oldest evicted
         first) — pinning carries kernel sources, so it must not grow with
         uptime on a persistently slow fleet.
     """
 
+    ADAPTIVE = "adaptive"
+
     def __init__(
         self,
         *,
         capacity_per_tenant: int = 16,
-        slow_tick_threshold: Optional[float] = None,
+        slow_tick_threshold: "Optional[float | str]" = None,
+        adaptive_multiplier: float = 3.0,
+        adaptive_min_ticks: int = 32,
+        adaptive_history: int = 256,
         max_pinned: int = 8,
     ):
         if capacity_per_tenant < 1:
             raise ValueError("capacity_per_tenant must be >= 1")
         if max_pinned < 1:
             raise ValueError("max_pinned must be >= 1")
-        if slow_tick_threshold is not None and slow_tick_threshold <= 0:
+        if isinstance(slow_tick_threshold, str):
+            if slow_tick_threshold != self.ADAPTIVE:
+                raise ValueError(
+                    f"slow_tick_threshold must be a number, None or "
+                    f"{self.ADAPTIVE!r} (got {slow_tick_threshold!r})"
+                )
+        elif slow_tick_threshold is not None and slow_tick_threshold <= 0:
             raise ValueError("slow_tick_threshold must be positive (or None)")
+        if adaptive_multiplier <= 1.0:
+            raise ValueError("adaptive_multiplier must be > 1")
+        if adaptive_min_ticks < 2:
+            raise ValueError("adaptive_min_ticks must be >= 2")
+        if adaptive_history < adaptive_min_ticks:
+            raise ValueError("adaptive_history must be >= adaptive_min_ticks")
         self.capacity_per_tenant = int(capacity_per_tenant)
         self.slow_tick_threshold = slow_tick_threshold
+        self.adaptive_multiplier = float(adaptive_multiplier)
+        self.adaptive_min_ticks = int(adaptive_min_ticks)
+        self.adaptive_history = int(adaptive_history)
         self.max_pinned = int(max_pinned)
         self._lock = threading.Lock()
         self._tenants: "OrderedDict[str, _TenantRing]" = OrderedDict()
         self._pinned: Deque[PinnedTick] = deque(maxlen=self.max_pinned)
         self._records_seen = 0
+
+    @property
+    def adaptive(self) -> bool:
+        return self.slow_tick_threshold == self.ADAPTIVE
+
+    def _effective_threshold(self, ring: _TenantRing) -> Optional[float]:
+        """The pin threshold for this tenant's *next* tick (``None``: off).
+
+        Fixed mode returns the configured cutoff; adaptive mode returns
+        ``multiplier × rolling p99`` once enough history has accumulated.
+        """
+        if not self.adaptive:
+            return self.slow_tick_threshold
+        if len(ring.durations) < self.adaptive_min_ticks:
+            return None
+        p99 = ring.rolling_p99()
+        return None if p99 is None else self.adaptive_multiplier * p99
 
     # -- feeding --------------------------------------------------------- #
     def record_tick(
@@ -138,11 +197,17 @@ class FlightRecorder:
             self._records_seen += len(records)
             ring = self._tenants.get(tenant)
             if ring is None:
-                ring = self._tenants[tenant] = _TenantRing(self.capacity_per_tenant)
+                ring = self._tenants[tenant] = _TenantRing(
+                    self.capacity_per_tenant, self.adaptive_history
+                )
             ring.trees.append(tree)
             ring.ticks_recorded += 1
-            threshold = self.slow_tick_threshold
-            if threshold is None or tree.record.duration < threshold:
+            duration = tree.record.duration
+            # the adaptive threshold is computed from the history *before*
+            # this tick joins it: an outlier must not raise its own bar
+            threshold = self._effective_threshold(ring)
+            ring.durations.append(duration)
+            if threshold is None or duration < threshold:
                 return None
             ring.slow_ticks += 1
             ticks = tree.find("session.tick")
@@ -178,19 +243,25 @@ class FlightRecorder:
     def summary(self) -> Dict[str, object]:
         """JSON-friendly snapshot for ``QueryService.stats()``."""
         with self._lock:
-            tenants = {
-                name: {
+            tenants = {}
+            for name, ring in self._tenants.items():
+                row = {
                     "ticks_recorded": ring.ticks_recorded,
                     "slow_ticks": ring.slow_ticks,
                     "recent_tick_ms": [
                         round(t.record.duration * 1e3, 3) for t in ring.trees
                     ],
                 }
-                for name, ring in self._tenants.items()
-            }
+                if self.adaptive:
+                    threshold = self._effective_threshold(ring)
+                    row["adaptive_threshold_ms"] = (
+                        round(threshold * 1e3, 3) if threshold is not None else None
+                    )
+                tenants[name] = row
             pinned = [p.to_dict() for p in self._pinned]
         return {
             "slow_tick_threshold": self.slow_tick_threshold,
+            "adaptive": self.adaptive,
             "records_seen": self._records_seen,
             "tenants": tenants,
             "pinned_slow_ticks": pinned,

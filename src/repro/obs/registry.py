@@ -28,6 +28,7 @@ and scheduler threads is safe.
 from __future__ import annotations
 
 import json
+import re
 import threading
 from collections import OrderedDict
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -55,6 +56,40 @@ DEFAULT_BUCKETS = (
 
 _LabelKey = Tuple[Tuple[str, str], ...]
 
+#: Prometheus charsets — metric names may use colons (recording rules do),
+#: label names may not; both are validated at instrument creation so a bad
+#: name fails at the registration site instead of corrupting a scrape
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _validate_name(kind: str, name: str) -> None:
+    if not _METRIC_NAME_RE.match(name):
+        raise ValueError(
+            f"invalid metric name {name!r}: must match {_METRIC_NAME_RE.pattern}"
+        )
+    # unit-suffix conventions: ``_total`` is the counter suffix — a counter
+    # without it (or a gauge/histogram with it) misleads every dashboard
+    # that relies on the convention
+    if kind == "counter" and not name.endswith("_total"):
+        raise ValueError(f"counter {name!r} must end with '_total'")
+    if kind != "counter" and name.endswith("_total"):
+        raise ValueError(f"{kind} {name!r} must not end with '_total' (counters only)")
+
+
+def _validate_labels(kind: str, name: str, labels: Mapping[str, object]) -> None:
+    for label in labels:
+        label = str(label)
+        if not _LABEL_NAME_RE.match(label):
+            raise ValueError(
+                f"invalid label name {label!r} on {name!r}: "
+                f"must match {_LABEL_NAME_RE.pattern}"
+            )
+        if label.startswith("__"):
+            raise ValueError(f"label {label!r} on {name!r}: '__' prefix is reserved")
+        if kind == "histogram" and label == "le":
+            raise ValueError(f"label 'le' on {name!r} is reserved for histogram buckets")
+
 
 def _label_key(labels: Mapping[str, object]) -> _LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
@@ -68,7 +103,14 @@ def _format_labels(labels: _LabelKey, extra: str = "") -> str:
 
 
 def _escape(value: str) -> str:
+    """Escape a label value per the exposition format (backslash, quote,
+    newline — in that order, so escapes are not double-escaped)."""
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    """HELP text escapes backslash and newline only (quotes stay literal)."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _format_value(v: float) -> str:
@@ -207,6 +249,7 @@ class MetricsRegistry:
         with self._lock:
             family = self._families.get(name)
             if family is None:
+                _validate_name(kind, name)
                 self._families[name] = (kind, help)
             elif family[0] != kind:
                 raise ValueError(
@@ -217,6 +260,7 @@ class MetricsRegistry:
                 self._families[name] = (kind, help)
             instrument = self._instruments.get(key)
             if instrument is None:
+                _validate_labels(kind, name, labels)
                 cls = _TYPES[kind]
                 instrument = cls(name, key[1], **kw) if kw else cls(name, key[1])
                 self._instruments[key] = instrument
@@ -268,7 +312,7 @@ class MetricsRegistry:
         lines: List[str] = []
         for name, kind, help, instruments in self._grouped():
             if help:
-                lines.append(f"# HELP {name} {_escape(help)}")
+                lines.append(f"# HELP {name} {_escape_help(help)}")
             lines.append(f"# TYPE {name} {kind}")
             for inst in instruments:
                 if kind == "histogram":

@@ -1,0 +1,544 @@
+"""Per-tenant SLOs evaluated with multi-window burn-rate logic.
+
+The metrics registry answers "what is the system doing"; this module
+answers "is it keeping its promises".  A :class:`SLOSpec` declares what a
+tenant is owed — tick latency, output freshness, how much load shedding is
+tolerable — and an :class:`SLOMonitor` folds the per-tick observations the
+serving layer already produces into a verdict: ``healthy``, ``degraded``
+or ``overloaded``.  The verdict drives the ``/healthz`` endpoint of
+:mod:`repro.obs.http` (200 vs. 503) and feeds the scheduler's escalation
+path, so a tenant burning its freshness budget gets serviced ahead of the
+policy before the promise is broken outright.
+
+Evaluation follows the SRE multi-window burn-rate recipe rather than
+point-in-time thresholds.  Each objective classifies every observation as
+*good* or *bad* (a tick under the latency target, an emit gap under the
+freshness target, an accepted vs. a shed event) and grants an error
+budget: the fraction of bad observations the SLO tolerates
+(``1 - objective`` for ratio objectives, ``max_shed_ratio`` for
+shedding).  The **burn rate** is how fast that budget is being spent —
+``bad_ratio / budget``, so 1.0 means "exactly on budget" and 10.0 means
+"burning ten times faster than sustainable".  An objective *breaches*
+only when the burn rate exceeds the spec's threshold over **both** a fast
+and a slow sliding window: the slow window keeps a short blip from
+paging, the fast window makes the alert reset quickly once the problem
+stops (a slow-window-only alert would stay red long after recovery).
+
+Everything here is stdlib-only and clock-injectable, so the serving layer
+can drive it with its own monotonic clock and the tests can replay
+schedules deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "SLOSpec",
+    "ObjectiveStatus",
+    "TenantSLO",
+    "SLOBreach",
+    "SLOStatus",
+    "SLOMonitor",
+    "HEALTHY",
+    "DEGRADED",
+    "OVERLOADED",
+]
+
+#: service-level verdicts, in increasing order of distress
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+OVERLOADED = "overloaded"
+
+#: objective names (stable keys in every exported document)
+LATENCY = "latency"
+FRESHNESS = "freshness"
+SHED = "shed"
+ERRORS = "errors"
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """What a tenant is promised.
+
+    Parameters
+    ----------
+    tick_p99_seconds:
+        Latency target: a tick slower than this is a *bad* observation.
+        The ``latency_objective`` fraction of ticks must stay under it —
+        the spec-level rendering of "tick p99 <= target".  ``None``
+        disables the latency objective.
+    emit_gap_seconds:
+        Freshness target: the wall-clock gap between consecutive emitted
+        ticks.  A gap longer than this is a bad observation.  ``None``
+        disables the freshness objective.
+    max_shed_ratio:
+        Error budget of the shedding objective: the sustainable fraction
+        of offered events the admission controller may drop.  ``None``
+        disables the shedding objective.
+    latency_objective / freshness_objective:
+        Good-observation fractions promised by the latency / freshness
+        objectives (0.99 = "99% of ticks on time"); the error budget is
+        one minus this.
+    fast_window_seconds / slow_window_seconds:
+        The two sliding windows of the burn-rate evaluation; fast must be
+        shorter than slow.
+    burn_rate_threshold:
+        Burn rate (multiple of the sustainable budget spend) past which —
+        in *both* windows — an objective breaches.
+    """
+
+    tick_p99_seconds: Optional[float] = 0.25
+    emit_gap_seconds: Optional[float] = None
+    max_shed_ratio: Optional[float] = 0.05
+    latency_objective: float = 0.99
+    freshness_objective: float = 0.99
+    fast_window_seconds: float = 60.0
+    slow_window_seconds: float = 300.0
+    burn_rate_threshold: float = 6.0
+
+    def __post_init__(self):
+        for name in ("tick_p99_seconds", "emit_gap_seconds"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive (or None)")
+        if self.max_shed_ratio is not None and not (0.0 < self.max_shed_ratio <= 1.0):
+            raise ValueError("max_shed_ratio must be in (0, 1] (or None)")
+        for name in ("latency_objective", "freshness_objective"):
+            if not (0.0 < getattr(self, name) < 1.0):
+                raise ValueError(f"{name} must be in (0, 1)")
+        if self.fast_window_seconds <= 0 or self.slow_window_seconds <= 0:
+            raise ValueError("window sizes must be positive")
+        if self.fast_window_seconds >= self.slow_window_seconds:
+            raise ValueError("fast_window_seconds must be < slow_window_seconds")
+        if self.burn_rate_threshold <= 0:
+            raise ValueError("burn_rate_threshold must be positive")
+
+    @classmethod
+    def resolve(cls, slo) -> "SLOSpec":
+        """Coerce the service-level ``slo=`` knob into a spec.
+
+        ``True`` means the defaults; a mapping is splatted into the
+        constructor; an existing spec passes through.
+        """
+        if slo is True:
+            return cls()
+        if isinstance(slo, cls):
+            return slo
+        if isinstance(slo, Mapping):
+            return cls(**slo)
+        raise TypeError(
+            f"slo must be an SLOSpec, a mapping of its fields, or True "
+            f"(got {type(slo).__name__})"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tick_p99_seconds": self.tick_p99_seconds,
+            "emit_gap_seconds": self.emit_gap_seconds,
+            "max_shed_ratio": self.max_shed_ratio,
+            "latency_objective": self.latency_objective,
+            "freshness_objective": self.freshness_objective,
+            "fast_window_seconds": self.fast_window_seconds,
+            "slow_window_seconds": self.slow_window_seconds,
+            "burn_rate_threshold": self.burn_rate_threshold,
+        }
+
+
+class BurnWindow:
+    """Good/bad observation counts over one sliding wall-clock window."""
+
+    __slots__ = ("seconds", "_entries", "_good", "_bad")
+
+    def __init__(self, seconds: float):
+        self.seconds = float(seconds)
+        self._entries: Deque[Tuple[float, int, int]] = deque()
+        self._good = 0
+        self._bad = 0
+
+    def record(self, now: float, good: int, bad: int) -> None:
+        self._entries.append((now, good, bad))
+        self._good += good
+        self._bad += bad
+        self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.seconds
+        entries = self._entries
+        while entries and entries[0][0] <= horizon:
+            _, good, bad = entries.popleft()
+            self._good -= good
+            self._bad -= bad
+
+    def bad_ratio(self, now: float) -> float:
+        """Fraction of observations in the window that were bad (0 if empty)."""
+        self._prune(now)
+        total = self._good + self._bad
+        return self._bad / total if total else 0.0
+
+    def totals(self, now: float) -> Tuple[int, int]:
+        self._prune(now)
+        return self._good, self._bad
+
+
+@dataclass
+class ObjectiveStatus:
+    """One objective's burn-rate evaluation at a point in time."""
+
+    name: str
+    budget: float
+    target: Optional[float]
+    burn_fast: float
+    burn_slow: float
+    breached: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "budget": self.budget,
+            "target": self.target,
+            "burn_fast": round(self.burn_fast, 4),
+            "burn_slow": round(self.burn_slow, 4),
+            "breached": self.breached,
+        }
+
+
+class _Objective:
+    """Burn-rate state of one objective of one tenant."""
+
+    __slots__ = ("name", "budget", "target", "fast", "slow", "breached")
+
+    def __init__(self, name: str, budget: float, target: Optional[float], spec: SLOSpec):
+        self.name = name
+        self.budget = float(budget)
+        self.target = target
+        self.fast = BurnWindow(spec.fast_window_seconds)
+        self.slow = BurnWindow(spec.slow_window_seconds)
+        self.breached = False
+
+    def record(self, now: float, good: int, bad: int) -> None:
+        self.fast.record(now, good, bad)
+        self.slow.record(now, good, bad)
+
+    def evaluate(self, now: float, threshold: float) -> ObjectiveStatus:
+        burn_fast = self.fast.bad_ratio(now) / self.budget
+        burn_slow = self.slow.bad_ratio(now) / self.budget
+        self.breached = burn_fast >= threshold and burn_slow >= threshold
+        return ObjectiveStatus(
+            self.name, self.budget, self.target, burn_fast, burn_slow, self.breached
+        )
+
+
+class TenantSLO:
+    """All objectives of one tenant, driven by its spec."""
+
+    __slots__ = ("tenant", "spec", "objectives", "failed", "failure")
+
+    def __init__(self, tenant: str, spec: SLOSpec):
+        self.tenant = tenant
+        self.spec = spec
+        self.objectives: Dict[str, _Objective] = {}
+        if spec.tick_p99_seconds is not None:
+            self.objectives[LATENCY] = _Objective(
+                LATENCY, 1.0 - spec.latency_objective, spec.tick_p99_seconds, spec
+            )
+        if spec.emit_gap_seconds is not None:
+            self.objectives[FRESHNESS] = _Objective(
+                FRESHNESS, 1.0 - spec.freshness_objective, spec.emit_gap_seconds, spec
+            )
+        if spec.max_shed_ratio is not None:
+            self.objectives[SHED] = _Objective(SHED, spec.max_shed_ratio, None, spec)
+        #: a tenant whose query raised is permanently in breach of the
+        #: error objective until the monitor is told to forget it — window
+        #: decay must not let a dead tenant fade back to healthy
+        self.failed = False
+        self.failure: Optional[str] = None
+
+    def evaluate(self, now: float) -> Dict[str, ObjectiveStatus]:
+        threshold = self.spec.burn_rate_threshold
+        statuses = {
+            name: obj.evaluate(now, threshold) for name, obj in self.objectives.items()
+        }
+        statuses[ERRORS] = ObjectiveStatus(
+            ERRORS, 0.0, None, 0.0, 0.0, self.failed
+        )
+        return statuses
+
+
+@dataclass(frozen=True)
+class SLOBreach:
+    """An objective transitioning into (or out of) breach."""
+
+    wall_time: float
+    tenant: str
+    objective: str
+    kind: str  # "breach" | "recovery"
+    burn_fast: float
+    burn_slow: float
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "wall_time": self.wall_time,
+            "tenant": self.tenant,
+            "objective": self.objective,
+            "kind": self.kind,
+            "burn_fast": round(self.burn_fast, 4),
+            "burn_slow": round(self.burn_slow, 4),
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class SLOStatus:
+    """Point-in-time service-level verdict plus the per-tenant evidence."""
+
+    verdict: str
+    evaluated_at: float
+    tenants: Dict[str, Dict[str, ObjectiveStatus]] = field(default_factory=dict)
+    failed_tenants: List[str] = field(default_factory=list)
+    recent_breaches: List[SLOBreach] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return self.verdict == HEALTHY
+
+    def breached(self) -> Dict[str, List[str]]:
+        """``{tenant: [breached objective names]}`` (only tenants in breach)."""
+        out: Dict[str, List[str]] = {}
+        for tenant, objectives in self.tenants.items():
+            names = [n for n, s in objectives.items() if s.breached]
+            if names:
+                out[tenant] = names
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "verdict": self.verdict,
+            "healthy": self.healthy,
+            "evaluated_at": self.evaluated_at,
+            "tenants": {
+                tenant: {name: s.to_dict() for name, s in objectives.items()}
+                for tenant, objectives in self.tenants.items()
+            },
+            "failed_tenants": list(self.failed_tenants),
+            "recent_breaches": [b.to_dict() for b in self.recent_breaches],
+        }
+
+
+class SLOMonitor:
+    """Folds serving-layer observations into per-tenant burn-rate state.
+
+    Thread-safe: the scheduling thread records ticks while producer
+    threads record ingest outcomes and monitoring threads evaluate.
+    ``clock`` must be monotonic (the serving layer injects its own so
+    fake-clock tests can replay schedules); breach events additionally
+    carry ``time.time()`` wall stamps for logs.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[SLOSpec] = None,
+        *,
+        clock=time.monotonic,
+        registry=None,
+        max_breaches: int = 64,
+    ):
+        self.spec = spec if spec is not None else SLOSpec()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, TenantSLO] = {}
+        self._breaches: Deque[SLOBreach] = deque(maxlen=max_breaches)
+        self._m_breaches = (
+            registry.counter(
+                "repro_slo_breaches_total",
+                "Objectives transitioning into breach (multi-window burn rate)",
+            )
+            if registry is not None
+            else None
+        )
+
+    # -- tenant lifecycle ------------------------------------------------ #
+    def watch(self, tenant: str, spec: Optional[SLOSpec] = None) -> None:
+        """Start tracking a tenant (optionally under its own spec)."""
+        with self._lock:
+            if tenant not in self._tenants:
+                self._tenants[tenant] = TenantSLO(tenant, spec or self.spec)
+
+    def forget(self, tenant: str) -> None:
+        """Stop tracking a tenant (finished/cancelled — its promises end)."""
+        with self._lock:
+            self._tenants.pop(tenant, None)
+
+    def tenants(self) -> List[str]:
+        with self._lock:
+            return list(self._tenants)
+
+    def _state(self, tenant: str) -> TenantSLO:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = self._tenants[tenant] = TenantSLO(tenant, self.spec)
+        return state
+
+    # -- observations ---------------------------------------------------- #
+    def record_tick(
+        self,
+        tenant: str,
+        *,
+        seconds: float,
+        emitted: bool = True,
+        emit_gap: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """One tick of a tenant: its duration, and (when it emitted) the
+        wall-clock gap since the previous emission."""
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            state = self._state(tenant)
+            latency = state.objectives.get(LATENCY)
+            if latency is not None:
+                bad = 1 if seconds > state.spec.tick_p99_seconds else 0
+                latency.record(now, 1 - bad, bad)
+            freshness = state.objectives.get(FRESHNESS)
+            if freshness is not None and emitted and emit_gap is not None:
+                bad = 1 if emit_gap > state.spec.emit_gap_seconds else 0
+                freshness.record(now, 1 - bad, bad)
+
+    def record_ingest(
+        self,
+        tenant: str,
+        *,
+        accepted: int,
+        shed: int,
+        now: Optional[float] = None,
+    ) -> None:
+        """One producer offer: how many events were accepted vs. dropped."""
+        if accepted <= 0 and shed <= 0:
+            return
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            objective = self._state(tenant).objectives.get(SHED)
+            if objective is not None:
+                objective.record(now, max(0, int(accepted)), max(0, int(shed)))
+
+    def record_failure(
+        self, tenant: str, error: Optional[str] = None, now: Optional[float] = None
+    ) -> None:
+        """The tenant's query raised and it was isolated: a permanent breach
+        of the error objective (until the tenant is forgotten)."""
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            state = self._state(tenant)
+            if state.failed:
+                return
+            state.failed = True
+            state.failure = error or ""
+            self._emit_breach(tenant, ERRORS, "breach", 0.0, 0.0, error or "")
+
+    def _emit_breach(
+        self,
+        tenant: str,
+        objective: str,
+        kind: str,
+        burn_fast: float,
+        burn_slow: float,
+        detail: str = "",
+    ) -> None:
+        # caller holds the lock
+        self._breaches.append(
+            SLOBreach(time.time(), tenant, objective, kind, burn_fast, burn_slow, detail)
+        )
+        if kind == "breach" and self._m_breaches is not None:
+            self._m_breaches.inc()
+
+    # -- evaluation ------------------------------------------------------ #
+    def evaluate(self, now: Optional[float] = None) -> SLOStatus:
+        """Evaluate every tenant's objectives and derive the service verdict.
+
+        ``overloaded`` when any tenant's shedding objective is in breach
+        (the service is dropping more load than the SLO tolerates);
+        otherwise ``degraded`` when any latency/freshness/error objective
+        is in breach; otherwise ``healthy``.
+        """
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            tenants: Dict[str, Dict[str, ObjectiveStatus]] = {}
+            failed: List[str] = []
+            verdict = HEALTHY
+            for name, state in self._tenants.items():
+                before = {
+                    obj_name: obj.breached for obj_name, obj in state.objectives.items()
+                }
+                statuses = state.evaluate(now)
+                tenants[name] = statuses
+                if state.failed:
+                    failed.append(name)
+                for obj_name, status in statuses.items():
+                    was = before.get(obj_name)
+                    if was is None:
+                        continue  # the error objective transitions in record_failure
+                    if status.breached and not was:
+                        self._emit_breach(
+                            name, obj_name, "breach", status.burn_fast, status.burn_slow
+                        )
+                    elif was and not status.breached:
+                        self._emit_breach(
+                            name, obj_name, "recovery", status.burn_fast, status.burn_slow
+                        )
+                for obj_name, status in statuses.items():
+                    if not status.breached:
+                        continue
+                    if obj_name == SHED:
+                        verdict = OVERLOADED
+                    elif verdict != OVERLOADED:
+                        verdict = DEGRADED
+            return SLOStatus(
+                verdict=verdict,
+                evaluated_at=now,
+                tenants=tenants,
+                failed_tenants=failed,
+                recent_breaches=list(self._breaches),
+            )
+
+    def urgent_tenants(self, now: Optional[float] = None) -> FrozenSet[str]:
+        """Tenants whose breach more scheduler attention could actually fix.
+
+        Freshness and shedding breaches are *scheduling* problems — ticking
+        the tenant more often drains its queue and advances its watermark.
+        Latency breaches are compute problems and failed tenants are gone;
+        escalating either would only starve the rest of the fleet.
+        """
+        status = self.evaluate(now)
+        urgent = set()
+        for tenant, objectives in status.tenants.items():
+            for name in (FRESHNESS, SHED):
+                obj = objectives.get(name)
+                if obj is not None and obj.breached:
+                    urgent.add(tenant)
+        return frozenset(urgent)
+
+    def breaches(self) -> List[SLOBreach]:
+        with self._lock:
+            return list(self._breaches)
+
+    def healthz(self, now: Optional[float] = None) -> Tuple[int, Dict[str, object]]:
+        """``(http_status, body)`` for a health endpoint: 200 only when the
+        verdict is ``healthy``, 503 otherwise."""
+        status = self.evaluate(now)
+        code = 200 if status.healthy else 503
+        return code, {
+            "status": status.verdict,
+            "breached": status.breached(),
+            "failed_tenants": list(status.failed_tenants),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return f"SLOMonitor({len(self._tenants)} tenants, {len(self._breaches)} events)"

@@ -123,12 +123,23 @@ class DeficitFairPolicy(SchedulerPolicy):
 
 
 class TickScheduler:
-    """A policy plus the deadline-escalation path and dispatch bookkeeping."""
+    """A policy plus the deadline-escalation path and dispatch bookkeeping.
+
+    Besides hard per-tenant deadlines, the scheduler accepts a set of
+    *urgent* tenants per select — the serving layer passes the tenants
+    whose SLO freshness/shedding objectives are currently burning past
+    budget (see :meth:`repro.obs.slo.SLOMonitor.urgent_tenants`), so a
+    tenant about to break its promise is serviced ahead of the policy
+    *before* the breach hardens, not merely after a fixed deadline lapses.
+    """
 
     def __init__(self, policy: SchedulerPolicy):
         self.policy = policy
         self.ticks_dispatched = 0
         self.escalations = 0
+        #: escalations taken because of SLO breach state alone (no overdue
+        #: hard deadline) — a subset story of ``escalations``
+        self.slo_escalations = 0
 
     def admit(self, tenant) -> None:
         self.policy.admit(tenant)
@@ -149,18 +160,38 @@ class TickScheduler:
         served = max(tenant.last_emit_wall, tenant.last_service_wall)
         return now - served - tenant.deadline_seconds
 
-    def select(self, ready: Sequence, now: Optional[float] = None):
-        """Pick the next tenant: overdue deadlines first, then the policy."""
+    def select(self, ready: Sequence, now: Optional[float] = None, *, urgent=()):
+        """Pick the next tenant: overdue deadlines and urgent (SLO-burning)
+        tenants first, then the policy.
+
+        ``urgent`` is a collection of tenant *names*; an urgent tenant is
+        escalated like a just-overdue deadline (urgency 0), so genuinely
+        overdue deadlines still sort ahead of it.  Servicing resets the
+        deadline window as before; urgency clears when the SLO monitor
+        observes the objective back under budget.
+        """
         if now is None:
             now = time.monotonic()
+
+        def urgency(t) -> float:
+            if t.deadline_seconds is not None:
+                return self._overdue_by(t, now)
+            return 0.0
+
         overdue: List = [
             t
             for t in ready
-            if t.deadline_seconds is not None and self._overdue_by(t, now) >= 0
+            if (t.deadline_seconds is not None and self._overdue_by(t, now) >= 0)
+            or (urgent and getattr(t, "name", None) in urgent)
         ]
         if overdue:
             self.escalations += 1
-            choice = max(overdue, key=lambda t: (self._overdue_by(t, now), -t.index))
+            choice = max(overdue, key=lambda t: (urgency(t), -t.index))
+            if not (
+                choice.deadline_seconds is not None
+                and self._overdue_by(choice, now) >= 0
+            ):
+                self.slo_escalations += 1
         else:
             choice = self.policy.select(ready)
         self.ticks_dispatched += 1

@@ -52,7 +52,10 @@ from ..datagen.sources import QueuedSource
 from ..errors import ExecutionError, QueryBuildError
 from ..metrics.fleet import FleetSnapshot, aggregate_fleet
 from ..metrics.streaming import LatencyDistribution
+from ..obs.export import to_chrome_trace
+from ..obs.http import TelemetryServer
 from ..obs.recorder import FlightRecorder
+from ..obs.slo import SLOMonitor, SLOSpec, SLOStatus
 from .admission import AdmissionConfig, AdmissionController
 from .scheduler import SchedulerPolicy, TickScheduler, make_policy
 
@@ -122,6 +125,9 @@ class TenantSession:
         self._pending: List[TickResult] = []
         #: lazily built kernel/source evidence for flight-recorder pins
         self._flight_context: Optional[Dict[str, object]] = None
+        #: the SLO observer subscribed to this tenant's session metrics
+        #: (kept so lifecycle transitions can unsubscribe it)
+        self._slo_observer = None
         #: False once a tick made no progress and no new input has arrived
         #: since — the scheduler skips the tenant until it is poked.  The
         #: sequence number detects input arriving *during* a tick, so a
@@ -204,6 +210,8 @@ class ServiceStats:
     policy: str
     ticks_dispatched: int
     escalations: int
+    #: escalations taken on SLO breach state alone (subset of ``escalations``)
+    slo_escalations: int
     submitted: int
     rejected_tenants: int
     fleet: FleetSnapshot
@@ -211,6 +219,9 @@ class ServiceStats:
     #: flight-recorder snapshot (recent/pinned slow-tick evidence); ``None``
     #: when the service's engine runs with tracing disabled
     flight: Optional[Dict[str, object]] = None
+    #: SLO evaluation (verdict, per-tenant burn rates, recent breaches);
+    #: ``None`` when the service runs without an SLO spec
+    slo: Optional[SLOStatus] = None
 
     def summary(self) -> Dict[str, object]:
         """Flat JSON-friendly rendering (fleet keys inlined)."""
@@ -221,13 +232,17 @@ class ServiceStats:
             "submitted": self.submitted,
             "rejected_tenants": self.rejected_tenants,
         }
+        if self.slo is not None:
+            out["slo_verdict"] = self.slo.verdict
+            out["slo_escalations"] = self.slo_escalations
         out.update(self.fleet.summary())
         return out
 
     def format(self) -> str:
         """One-line human-readable rendering for live logs."""
+        verdict = f" [{self.slo.verdict}]" if self.slo is not None else ""
         return (
-            f"[{self.policy}] {self.ticks_dispatched} ticks "
+            f"[{self.policy}]{verdict} {self.ticks_dispatched} ticks "
             f"({self.escalations} escalated) | " + self.fleet.format()
         )
 
@@ -261,11 +276,30 @@ class QueryService:
     slow_tick_threshold:
         Ticks whose root span exceeds this many seconds are pinned by the
         flight recorder (full span tree + kernel context surfaced through
-        :meth:`stats`).  Only meaningful when the engine traces
+        :meth:`stats`).  The string ``"adaptive"`` pins relative outliers
+        (ticks past a multiple of the tenant's rolling p99) instead of a
+        fixed cutoff.  Only meaningful when the engine traces
         (``TiltEngine(trace=True)`` or ``REPRO_TRACE=1``); ``None`` keeps
         the recent-tick rings without pinning.
     flight_capacity:
         Recent tick span trees the flight recorder retains per tenant.
+    slo:
+        Service-level objectives for the fleet: ``True`` for the default
+        :class:`~repro.obs.slo.SLOSpec`, a mapping of its fields, or a
+        spec instance.  Enables :meth:`stats`\\ ``.slo``, the breach-driven
+        scheduler escalation path, and the ``/healthz``/``/slo`` routes of
+        the telemetry endpoint.  ``None`` (default) disables SLO tracking.
+    slo_refresh_interval:
+        How often (seconds) the scheduling loop re-evaluates SLO breach
+        state when picking urgent tenants; evaluation walks every
+        objective window, so it is rate-limited off the hot path.
+    telemetry_port:
+        When not ``None``, start a :class:`~repro.obs.http.TelemetryServer`
+        on this port (0 picks an ephemeral one — read it back from
+        ``service.telemetry.port``) serving ``/metrics``, ``/healthz``,
+        ``/slo``, ``/tenants`` and ``/trace`` for this service.
+    telemetry_host:
+        Bind address for the telemetry endpoint (loopback by default).
     """
 
     def __init__(
@@ -281,8 +315,12 @@ class QueryService:
         block_timeout: Optional[float] = None,
         default_deadline: Optional[float] = None,
         clock=time.monotonic,
-        slow_tick_threshold: Optional[float] = None,
+        slow_tick_threshold: "Optional[Union[float, str]]" = None,
         flight_capacity: int = 16,
+        slo=None,
+        slo_refresh_interval: float = 0.25,
+        telemetry_port: Optional[int] = None,
+        telemetry_host: str = "127.0.0.1",
     ):
         self._engine = (
             engine
@@ -318,8 +356,22 @@ class QueryService:
         self._g_fairness = registry.gauge(
             "repro_fairness_index", "Jain fairness index over weighted tenant busy time"
         )
-        self._g_escalations = registry.gauge(
-            "repro_scheduler_escalations", "Deadline escalations taken by the scheduler"
+        # escalation counts are monotonic, so they export as counters (the
+        # registry's unit-suffix audit rejects a ``_total``-less gauge for
+        # them); stats() pushes deltas since the previous export
+        self._c_escalations = registry.counter(
+            "repro_scheduler_escalations_total",
+            "Deadline/SLO escalations taken by the scheduler",
+        )
+        self._c_slo_escalations = registry.counter(
+            "repro_slo_escalations_total",
+            "Escalations taken on SLO breach state alone (no overdue deadline)",
+        )
+        self._exported_escalations = 0
+        self._exported_slo_escalations = 0
+        self._h_emit_gap = registry.histogram(
+            "repro_emit_gap_seconds",
+            "Wall-clock gap between consecutive emitted ticks per tenant",
         )
         if isinstance(policy, str):
             policy = make_policy(policy)
@@ -334,6 +386,16 @@ class QueryService:
         )
         self._default_deadline = default_deadline
         self._clock = clock
+        self._slo: Optional[SLOMonitor] = (
+            SLOMonitor(SLOSpec.resolve(slo), clock=clock, registry=registry)
+            if slo is not None and slo is not False
+            else None
+        )
+        if slo_refresh_interval < 0:
+            raise QueryBuildError("slo_refresh_interval must be >= 0")
+        self._slo_refresh = float(slo_refresh_interval)
+        self._urgent: frozenset = frozenset()
+        self._urgent_at: Optional[float] = None
         self._tenants: Dict[str, TenantSession] = {}
         self._reserved: set = set()  # names admitted but still compiling
         self._counter = 0
@@ -343,6 +405,25 @@ class QueryService:
         self._wake = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
+        # the telemetry endpoint is wired from plain closures so repro.obs
+        # never imports the serving layer; started last so a bind failure
+        # cannot leave a half-constructed service holding a socket
+        self._telemetry: Optional[TelemetryServer] = None
+        if telemetry_port is not None:
+            monitor = self._slo
+            self._telemetry = TelemetryServer(
+                metrics=registry.to_prometheus,
+                health=monitor.healthz if monitor is not None else None,
+                slo=(
+                    (lambda: monitor.evaluate().to_dict())
+                    if monitor is not None
+                    else None
+                ),
+                tenants=self._tenants_doc,
+                trace=self._trace_doc if self._tracer.enabled else None,
+                host=telemetry_host,
+                port=telemetry_port,
+            ).start()
 
     # ------------------------------------------------------------------ #
     # tenant lifecycle
@@ -359,6 +440,28 @@ class QueryService:
     @property
     def policy_name(self) -> str:
         return self._scheduler.policy.name
+
+    @property
+    def slo_monitor(self) -> Optional[SLOMonitor]:
+        """The SLO monitor (``None`` when the service has no SLO spec)."""
+        return self._slo
+
+    @property
+    def telemetry(self) -> Optional[TelemetryServer]:
+        """The HTTP telemetry endpoint (``None`` unless ``telemetry_port``)."""
+        return self._telemetry
+
+    def _tenants_doc(self) -> Dict[str, object]:
+        """Per-tenant stats rows for the ``/tenants`` route."""
+        with self._lock:
+            tenants = list(self._tenants.items())
+        return {name: tenant.describe() for name, tenant in tenants}
+
+    def _trace_doc(self, tenant: Optional[str]) -> Dict[str, object]:
+        """Chrome trace document for the ``/trace`` route."""
+        if self._recorder is not None:
+            return self._recorder.to_chrome_trace(tenant)
+        return to_chrome_trace([])
 
     def tenants(self) -> List[str]:
         """Names of all known tenants (any state), in admission order."""
@@ -474,6 +577,32 @@ class QueryService:
             self._tenants[tenant_name] = tenant
             self._scheduler.admit(tenant)
             self._submitted += 1
+            if self._slo is not None:
+                # observe every tick through the session's own metrics hook:
+                # record_tick stays the single write path whether the session
+                # runs standalone or under a service.  The callback fires
+                # inside session.tick(), before _advance updates
+                # last_emit_wall, so the gap it computes is the wall-clock
+                # staleness this emission just ended.
+                self._slo.watch(tenant_name)
+
+                def _observe(
+                    *,
+                    input_events,
+                    output_snapshots,
+                    seconds,
+                    emitted,
+                    _tenant=tenant,
+                    _monitor=self._slo,
+                    _clock=self._clock,
+                ):
+                    gap = _clock() - _tenant.last_emit_wall if emitted else None
+                    _monitor.record_tick(
+                        _tenant.name, seconds=seconds, emitted=emitted, emit_gap=gap
+                    )
+
+                tenant._slo_observer = _observe
+                session.metrics.subscribe(_observe)
         self._wake.set()
         return tenant_name
 
@@ -530,6 +659,8 @@ class QueryService:
         accepted, shed = self._admission.offer(source, events, timeout=timeout)
         if shed:
             self._m_shed.inc(shed)
+        if self._slo is not None:
+            self._slo.record_ingest(name, accepted=accepted, shed=shed)
         with self._lock:
             tenant = self._tenant(name)
             tenant.shed_events += shed
@@ -585,6 +716,30 @@ class QueryService:
     # ------------------------------------------------------------------ #
     # scheduling loop
     # ------------------------------------------------------------------ #
+    def _release_slo(self, tenant: TenantSession, *, forget: bool) -> None:
+        """Detach a tenant leaving the ready set from SLO tracking.
+
+        ``forget`` drops its burn-rate state entirely (finish/cancel: the
+        promise ends with the tenant); a *failed* tenant is kept so its
+        error-objective breach persists until the embedder forgets it.
+        """
+        if self._slo is None:
+            return
+        if tenant._slo_observer is not None:
+            tenant.session.metrics.unsubscribe(tenant._slo_observer)
+            tenant._slo_observer = None
+        if forget:
+            self._slo.forget(tenant.name)
+
+    def _refresh_urgent(self, now: float) -> frozenset:
+        """The SLO-urgent tenant set, re-evaluated at most every
+        ``slo_refresh_interval`` seconds (evaluation walks every objective
+        window of every tenant — too heavy for every single select)."""
+        if self._urgent_at is None or now - self._urgent_at >= self._slo_refresh:
+            self._urgent = self._slo.urgent_tenants(now)
+            self._urgent_at = now
+        return self._urgent
+
     def step(self) -> Optional[TickResult]:
         """Run one scheduling decision: pick a ready tenant, advance it.
 
@@ -607,8 +762,12 @@ class QueryService:
                 step_span = tracer.span("service.step")
                 step_span.__enter__()
                 try:
+                    now = self._clock()
+                    urgent = (
+                        self._refresh_urgent(now) if self._slo is not None else ()
+                    )
                     with tracer.span("scheduler.select", ready=len(ready)) as sel:
-                        tenant = self._scheduler.select(ready, self._clock())
+                        tenant = self._scheduler.select(ready, now, urgent=urgent)
                         sel.set(tenant=tenant.name)
                     dirty_seq = tenant._dirty_seq
                 except BaseException:
@@ -699,12 +858,23 @@ class QueryService:
                 tenant.close_inputs()
                 self._scheduler.remove(tenant)
                 self._m_failures.inc()
+                # a failed tenant stays *watched* (its error objective is a
+                # permanent breach driving /healthz to 503) but stops
+                # feeding observations
+                self._release_slo(tenant, forget=False)
+            if self._slo is not None:
+                self._slo.record_failure(tenant.name, error=repr(exc))
             _LOG.error(
                 "tenant %r failed during tick %d and was isolated: %r",
                 tenant.name,
                 tenant.ticks_scheduled,
                 exc,
                 exc_info=exc,
+                extra={
+                    "tenant": tenant.name,
+                    "tick": tenant.ticks_scheduled,
+                    "tenant_error": repr(exc),
+                },
             )
             return None
         now = self._clock()
@@ -715,6 +885,7 @@ class QueryService:
             if finished:
                 tenant.state = FINISHED
                 self._scheduler.remove(tenant)
+                self._release_slo(tenant, forget=True)
             elif not result.events_ingested and not result.emitted:
                 if session.exhausted:
                     tenant.mark_dirty()  # flush on the next turn
@@ -723,7 +894,9 @@ class QueryService:
                     # marked mid-tick (the verdict would be stale)
                     tenant._dirty = False
             if result.emitted:
-                tenant.emit_gaps.record(now - tenant.last_emit_wall)
+                gap = now - tenant.last_emit_wall
+                tenant.emit_gaps.record(gap)
+                self._h_emit_gap.observe(gap)
                 tenant.last_emit_wall = now
                 tenant._pending.append(result)
         return result
@@ -801,6 +974,7 @@ class QueryService:
             tenant.state = CANCELLED
             tenant.close_inputs()  # wake any producer blocked in ingest
             self._scheduler.remove(tenant)
+            self._release_slo(tenant, forget=True)
         self._wake.set()
         return True
 
@@ -815,8 +989,15 @@ class QueryService:
             policy = self._scheduler.policy.name
             ticks_dispatched = self._scheduler.ticks_dispatched
             escalations = self._scheduler.escalations
+            slo_escalations = self._scheduler.slo_escalations
             submitted = self._submitted
             rejected = self._admission.rejected_tenants
+            # escalation totals export as counters: push the delta since
+            # the previous stats() call
+            esc_delta = escalations - self._exported_escalations
+            self._exported_escalations = escalations
+            slo_esc_delta = slo_escalations - self._exported_slo_escalations
+            self._exported_slo_escalations = slo_escalations
         # the heavy part — copying and merging every tenant's latency
         # sample window — runs outside the service lock (the per-metric
         # locks make the reads safe), so monitoring never stalls the
@@ -833,16 +1014,21 @@ class QueryService:
         self._g_active.set(float(fleet.active_tenants))
         self._g_queue.set(float(fleet.queue_depth))
         self._g_fairness.set(fleet.fairness)
-        self._g_escalations.set(float(escalations))
+        if esc_delta > 0:
+            self._c_escalations.inc(esc_delta)
+        if slo_esc_delta > 0:
+            self._c_slo_escalations.inc(slo_esc_delta)
         return ServiceStats(
             policy=policy,
             ticks_dispatched=ticks_dispatched,
             escalations=escalations,
+            slo_escalations=slo_escalations,
             submitted=submitted,
             rejected_tenants=rejected,
             fleet=fleet,
             tenants={n: t.describe() for n, t in tenants},
             flight=self._recorder.summary() if self._recorder is not None else None,
+            slo=self._slo.evaluate() if self._slo is not None else None,
         )
 
     # ------------------------------------------------------------------ #
@@ -855,6 +1041,8 @@ class QueryService:
         an internally created one is closed.
         """
         self.stop()
+        if self._telemetry is not None:
+            self._telemetry.close()
         with self._lock:
             if self._closed:
                 return
@@ -865,6 +1053,7 @@ class QueryService:
                     tenant.state = CANCELLED
                     tenant.close_inputs()
                     self._scheduler.remove(tenant)
+                    self._release_slo(tenant, forget=True)
         if self._owns_engine:
             self._engine.close()
 

@@ -200,9 +200,9 @@ class TestRegistry:
 
     def test_type_conflict_raises(self):
         reg = MetricsRegistry()
-        reg.counter("repro_dual")
+        reg.counter("repro_dual_total")
         with pytest.raises(ValueError):
-            reg.gauge("repro_dual")
+            reg.gauge("repro_dual_total")
 
     def test_counter_rejects_negative(self):
         with pytest.raises(ValueError):
@@ -494,3 +494,257 @@ class TestTenantFailureSurfacing:
             )
             service.run_until_idle(max_ticks=20)
             assert service.stats().tenants["ok"]["traceback"] == ""
+
+
+# ---------------------------------------------------------------------- #
+# registry exposition hardening
+# ---------------------------------------------------------------------- #
+class TestRegistryHardening:
+    def test_invalid_metric_names_rejected(self):
+        reg = MetricsRegistry()
+        for bad in ("1bad_total", "has-dash_total", "has space_total", ""):
+            with pytest.raises(ValueError):
+                reg.counter(bad)
+        reg.counter("repro:rule_total")  # colons are legal (recording rules)
+
+    def test_unit_suffix_conventions_enforced(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("repro_things")  # counter must end _total
+        with pytest.raises(ValueError):
+            reg.gauge("repro_things_total")  # gauge must not
+        with pytest.raises(ValueError):
+            reg.histogram("repro_lat_total")  # histogram must not
+        reg.counter("repro_things_total")
+        reg.gauge("repro_things")
+        reg.histogram("repro_lat_seconds")
+
+    def test_invalid_label_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("repro_l_total", **{"bad-name": "x"})
+        with pytest.raises(ValueError):
+            reg.counter("repro_l_total", __reserved="x")
+        with pytest.raises(ValueError):
+            reg.histogram("repro_h_seconds", le="0.5")  # reserved on histograms
+        reg.counter("repro_l_total", le="fine")  # only histograms reserve le
+
+    def test_labels_validated_on_existing_family_too(self):
+        """A bad label set must fail even when the family already exists."""
+        reg = MetricsRegistry()
+        reg.counter("repro_l_total", backend="thread")
+        with pytest.raises(ValueError):
+            reg.counter("repro_l_total", **{"bad-name": "x"})
+
+    def test_label_values_escaped_in_exposition(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "repro_esc_total", "help", path='C:\\dir', q='say "hi"', nl="a\nb"
+        ).inc()
+        text = reg.to_prometheus()
+        line = next(l for l in text.splitlines() if l.startswith("repro_esc_total{"))
+        assert '\\\\dir' in line        # backslash doubled
+        assert '\\"hi\\"' in line       # quotes escaped
+        assert "a\\nb" in line          # newline escaped
+        assert "\n" not in line
+
+    def test_help_text_escaped(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_esc", 'line1\nline2 with "quotes" and \\slash')
+        text = reg.to_prometheus()
+        help_line = next(l for l in text.splitlines() if l.startswith("# HELP"))
+        # HELP escapes backslash + newline only; quotes stay literal
+        assert help_line == '# HELP repro_esc line1\\nline2 with "quotes" and \\\\slash'
+
+
+# ---------------------------------------------------------------------- #
+# adaptive flight recorder
+# ---------------------------------------------------------------------- #
+class TestAdaptiveFlightRecorder:
+    @staticmethod
+    def tick(duration, tick=0):
+        return [
+            SpanRecord(
+                "session.tick", f"s{tick}", None, 100.0 + tick, duration,
+                duration, {"tick": tick}, 1, 1,
+            )
+        ]
+
+    def make(self, **kw):
+        kw.setdefault("slow_tick_threshold", FlightRecorder.ADAPTIVE)
+        kw.setdefault("adaptive_min_ticks", 8)
+        kw.setdefault("adaptive_history", 64)
+        return FlightRecorder(**kw)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(slow_tick_threshold="sometimes")
+        with pytest.raises(ValueError):
+            FlightRecorder(slow_tick_threshold="adaptive", adaptive_multiplier=1.0)
+        with pytest.raises(ValueError):
+            FlightRecorder(adaptive_min_ticks=1)
+        with pytest.raises(ValueError):
+            FlightRecorder(adaptive_min_ticks=32, adaptive_history=16)
+
+    def test_disarmed_until_min_ticks(self):
+        recorder = self.make()
+        for i in range(7):
+            assert recorder.record_tick("t", self.tick(0.001, i)) is None
+        # a wild outlier before the baseline exists must not pin
+        assert recorder.record_tick("t", self.tick(5.0, 7)) is None
+
+    def test_relative_outlier_pins_absolute_quiet_fleet(self):
+        """Microsecond ticks (far below any sane fixed cutoff) still get
+        their own outliers pinned once the baseline is armed."""
+        recorder = self.make(adaptive_multiplier=3.0)
+        for i in range(16):
+            assert recorder.record_tick("t", self.tick(10e-6, i)) is None
+        pinned = recorder.record_tick("t", self.tick(100e-6, 16))
+        assert pinned is not None
+        assert pinned.duration == pytest.approx(100e-6)
+        summary = recorder.summary()
+        assert summary["adaptive"] is True
+        assert summary["tenants"]["t"]["slow_ticks"] == 1
+        assert summary["tenants"]["t"]["adaptive_threshold_ms"] is not None
+
+    def test_normal_ticks_do_not_pin(self):
+        recorder = self.make(adaptive_multiplier=3.0)
+        for i in range(64):
+            assert recorder.record_tick("t", self.tick(0.001, i)) is None
+        assert recorder.pinned() == []
+
+    def test_outlier_judged_against_prior_history(self):
+        """The threshold is computed before the tick joins the history, so
+        an outlier cannot raise its own bar."""
+        recorder = self.make(adaptive_multiplier=2.0, adaptive_min_ticks=8)
+        for i in range(8):
+            recorder.record_tick("t", self.tick(0.001, i))
+        # p99 of history = 1 ms -> bar 2 ms; a 2.5 ms tick pins even though
+        # a p99 computed *with* it would be 2.5 ms (bar 5 ms)
+        assert recorder.record_tick("t", self.tick(0.0025, 8)) is not None
+
+    def test_per_tenant_baselines_are_independent(self):
+        recorder = self.make(adaptive_multiplier=3.0)
+        for i in range(16):
+            recorder.record_tick("fast", self.tick(10e-6, i))
+            recorder.record_tick("slow", self.tick(0.01, i))
+        # 1 ms: a 100x outlier for "fast", dead normal for "slow"
+        assert recorder.record_tick("fast", self.tick(0.001, 16)) is not None
+        assert recorder.record_tick("slow", self.tick(0.001, 16)) is None
+
+    def test_fixed_mode_summary_has_no_adaptive_keys(self):
+        recorder = FlightRecorder(slow_tick_threshold=0.5)
+        tracer = Tracer()
+        with tracer.span("session.tick", tick=0):
+            pass
+        recorder.record_tick("t", tracer.drain())
+        summary = recorder.summary()
+        assert summary["adaptive"] is False
+        assert "adaptive_threshold_ms" not in summary["tenants"]["t"]
+
+    def test_service_accepts_adaptive_threshold(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        with QueryService(workers=1, slow_tick_threshold="adaptive") as service:
+            assert service.recorder.adaptive
+            assert service.stats().flight["adaptive"] is True
+
+
+# ---------------------------------------------------------------------- #
+# structured JSON logging
+# ---------------------------------------------------------------------- #
+class TestJsonLogging:
+    def make_logger(self, name, tracer=None):
+        import io
+
+        from repro.obs import configure_json_logging
+
+        stream = io.StringIO()
+        handler = configure_json_logging(name, tracer=tracer, stream=stream)
+        return logging.getLogger(name), handler, stream
+
+    def test_record_is_one_json_line_with_extras(self):
+        logger, handler, stream = self.make_logger("repro.test.json1")
+        try:
+            logger.info("tick done", extra={"tenant": "t0", "tick": 17})
+            line = stream.getvalue().strip()
+            assert "\n" not in line
+            doc = json.loads(line)
+            assert doc["message"] == "tick done"
+            assert doc["level"] == "INFO"
+            assert doc["logger"] == "repro.test.json1"
+            assert doc["tenant"] == "t0" and doc["tick"] == 17
+            assert isinstance(doc["ts"], float)
+        finally:
+            logger.removeHandler(handler)
+
+    def test_exception_renders_into_field_not_message(self):
+        logger, handler, stream = self.make_logger("repro.test.json2")
+        try:
+            try:
+                raise ValueError("boom")
+            except ValueError:
+                logger.exception("tenant failed")
+            line = stream.getvalue().strip()
+            assert "\n" not in line  # still one JSON line
+            doc = json.loads(line)
+            assert doc["message"] == "tenant failed"
+            assert "ValueError: boom" in doc["exception"]
+        finally:
+            logger.removeHandler(handler)
+
+    def test_span_correlation(self):
+        tracer = Tracer()
+        logger, handler, stream = self.make_logger("repro.test.json3", tracer=tracer)
+        try:
+            logger.info("outside")
+            with tracer.span("session.tick"):
+                logger.info("inside")
+            docs = [json.loads(l) for l in stream.getvalue().splitlines()]
+            assert docs[0]["span_id"] is None
+            assert docs[1]["span_id"] is not None
+            [record] = tracer.drain()
+            assert docs[1]["span_id"] == record.span_id
+        finally:
+            logger.removeHandler(handler)
+
+    def test_configure_is_idempotent(self):
+        from repro.obs import configure_json_logging
+
+        logger = logging.getLogger("repro.test.json4")
+        first = configure_json_logging("repro.test.json4")
+        second = configure_json_logging("repro.test.json4")
+        try:
+            installed = [
+                h for h in logger.handlers if getattr(h, "_repro_json_handler", False)
+            ]
+            assert installed == [second]
+            assert first is not second
+        finally:
+            logger.removeHandler(second)
+
+    def test_service_failure_log_carries_structured_fields(self):
+        import io
+
+        from repro.obs import JsonFormatter
+
+        app = get_application("trading")
+        stream = io.StringIO()
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(JsonFormatter())
+        logger = logging.getLogger("repro.serve")
+        logger.addHandler(handler)
+        old_level = logger.level
+        logger.setLevel(logging.ERROR)
+        try:
+            with QueryService(workers=1) as service:
+                service.submit(app.program(), name="bad")
+                service.ingest("bad", [Event(0.0, 10.0, 1.0), Event(5.0, 15.0, 2.0)])
+                service.run_until_idle(max_ticks=5)
+            doc = json.loads(stream.getvalue().strip().splitlines()[0])
+            assert doc["tenant"] == "bad"
+            assert doc["tick"] == 0
+            assert "Overlapping" in doc["tenant_error"]
+            assert "Traceback" in doc["exception"]
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(old_level)

@@ -1,0 +1,199 @@
+"""The perf-regression gate (``benchmarks/check_regression.py``).
+
+The gate's contract, test-covered as the ISSUE requires:
+
+* a run matching its baseline **passes**, a synthetic 20% throughput drop
+  **fails** (exit code 1 through the CLI);
+* a baseline row missing from the current run fails — dropping a
+  benchmark must not read as "no regressions" — while current-only rows
+  are informational;
+* hardware calibration scales the expected throughput by the score ratio
+  and is clamped, so a bogus score cannot waive the gate;
+* the committed baseline file itself stays well-formed.
+
+``check_regression`` lives in ``benchmarks/`` (not the package), so the
+suite imports it off a path fixture — no install step needed.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+BASELINE = BENCH_DIR / "results" / "baseline_sustained.json"
+
+
+def _load_module():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", BENCH_DIR / "check_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+gate = _load_module()
+
+
+def result_file(tmp_path, name, rows, *, hardware_score=1.0):
+    """Write a benchutil-schema JSON file and return its path as str."""
+    payload = {
+        "results": [
+            {"name": n, "params": p, "events_per_sec": eps} for n, p, eps in rows
+        ],
+        "meta": {"hardware_score": hardware_score},
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestCompare:
+    def rows(self, eps):
+        return [("sustained/ysb", {"workers": 1}, eps)]
+
+    def test_identical_runs_pass(self, tmp_path):
+        base = result_file(tmp_path, "base.json", self.rows(100_000.0))
+        cur = result_file(tmp_path, "cur.json", self.rows(100_000.0))
+        ok, findings, factor = gate.check(base, cur)
+        assert ok
+        assert factor == 1.0
+        assert [f["status"] for f in findings] == ["pass"]
+
+    def test_twenty_percent_slowdown_fails(self, tmp_path):
+        base = result_file(tmp_path, "base.json", self.rows(100_000.0))
+        cur = result_file(tmp_path, "cur.json", self.rows(80_000.0))
+        ok, findings, _ = gate.check(base, cur)  # default tolerance 15%
+        assert not ok
+        (finding,) = findings
+        assert finding["status"] == "fail"
+        assert finding["ratio"] == pytest.approx(0.8)
+        assert "below floor" in finding["detail"]
+
+    def test_drop_within_tolerance_passes(self, tmp_path):
+        base = result_file(tmp_path, "base.json", self.rows(100_000.0))
+        cur = result_file(tmp_path, "cur.json", self.rows(90_000.0))
+        ok, findings, _ = gate.check(base, cur)
+        assert ok and findings[0]["status"] == "pass"
+
+    def test_missing_baseline_row_fails(self, tmp_path):
+        base = result_file(
+            tmp_path,
+            "base.json",
+            self.rows(100_000.0) + [("sustained/ysb", {"workers": 2}, 150_000.0)],
+        )
+        cur = result_file(tmp_path, "cur.json", self.rows(100_000.0))
+        ok, findings, _ = gate.check(base, cur)
+        assert not ok
+        statuses = {json.dumps(f["params"]): f["status"] for f in findings}
+        assert statuses == {'{"workers": 1}': "pass", '{"workers": 2}': "missing"}
+
+    def test_new_current_row_is_informational(self, tmp_path):
+        base = result_file(tmp_path, "base.json", self.rows(100_000.0))
+        cur = result_file(
+            tmp_path,
+            "cur.json",
+            self.rows(100_000.0) + [("sustained/new-bench", {}, 5.0)],
+        )
+        ok, findings, _ = gate.check(base, cur)
+        assert ok  # a new row never fails the gate
+        assert {f["status"] for f in findings} == {"pass", "new"}
+
+    def test_rows_matched_by_params_not_just_name(self, tmp_path):
+        """Same name, different params → different benchmarks."""
+        base = result_file(tmp_path, "base.json", self.rows(100_000.0))
+        cur = result_file(
+            tmp_path, "cur.json", [("sustained/ysb", {"workers": 8}, 100_000.0)]
+        )
+        ok, findings, _ = gate.check(base, cur)
+        assert not ok
+        assert {f["status"] for f in findings} == {"missing", "new"}
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            gate.compare({}, {}, tolerance=1.0)
+        with pytest.raises(ValueError):
+            gate.compare({}, {}, tolerance=-0.1)
+
+
+class TestCalibration:
+    def test_slower_machine_lowers_the_floor(self, tmp_path):
+        # current machine scores half the baseline machine: a 40% drop in
+        # raw throughput is only 80% of the *calibrated* baseline → passes
+        base = result_file(
+            tmp_path, "b.json", [("x", {}, 100_000.0)], hardware_score=2.0
+        )
+        cur = result_file(tmp_path, "c.json", [("x", {}, 60_000.0)], hardware_score=1.0)
+        ok, findings, factor = gate.check(base, cur)
+        assert factor == pytest.approx(0.5)
+        assert ok
+        # ... and --no-calibrate keeps the strict comparison
+        ok, _, factor = gate.check(base, cur, calibrate=False)
+        assert factor == 1.0
+        assert not ok
+
+    def test_calibration_cannot_waive_a_real_regression(self, tmp_path):
+        """Even on a (claimed) slower machine, a drop beyond the calibrated
+        floor still fails."""
+        base = result_file(
+            tmp_path, "b.json", [("x", {}, 100_000.0)], hardware_score=2.0
+        )
+        cur = result_file(tmp_path, "c.json", [("x", {}, 30_000.0)], hardware_score=1.0)
+        ok, findings, _ = gate.check(base, cur)
+        assert not ok
+
+    def test_factor_is_clamped(self):
+        lo, hi = gate.CALIBRATION_CLAMP
+        assert (
+            gate.calibration_factor(
+                {"hardware_score": 100.0}, {"hardware_score": 0.001}
+            )
+            == lo
+        )
+        assert (
+            gate.calibration_factor(
+                {"hardware_score": 0.001}, {"hardware_score": 100.0}
+            )
+            == hi
+        )
+
+    def test_missing_score_means_no_calibration(self):
+        assert gate.calibration_factor({}, {"hardware_score": 2.0}) == 1.0
+        assert gate.calibration_factor({"hardware_score": 2.0}, {}) == 1.0
+
+
+class TestCLI:
+    def test_exit_codes(self, tmp_path, capsys):
+        base = result_file(tmp_path, "base.json", [("x", {}, 100_000.0)])
+        good = result_file(tmp_path, "good.json", [("x", {}, 99_000.0)])
+        bad = result_file(tmp_path, "bad.json", [("x", {}, 80_000.0)])
+        assert gate.main([base, good]) == 0
+        assert gate.main([base, bad]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "below floor" in out
+
+    def test_tolerance_flag(self, tmp_path):
+        base = result_file(tmp_path, "base.json", [("x", {}, 100_000.0)])
+        bad = result_file(tmp_path, "bad.json", [("x", {}, 80_000.0)])
+        assert gate.main([base, bad, "--tolerance", "0.25"]) == 0
+
+
+class TestSeededBaseline:
+    def test_baseline_file_is_well_formed(self):
+        """The committed baseline must parse, carry calibration metadata,
+        and hold throughput rows the gate can compare against."""
+        rows, meta = gate.load_results(str(BASELINE))
+        assert rows, "baseline has no result rows"
+        assert meta.get("hardware_score"), "baseline lacks hardware_score"
+        assert meta.get("git_sha") is not None
+        for (name, _), row in rows.items():
+            assert name.startswith("sustained/")
+            assert row["events_per_sec"] > 0
+
+    def test_baseline_passes_against_itself(self):
+        ok, findings, factor = gate.check(str(BASELINE), str(BASELINE))
+        assert ok and factor == 1.0
+        assert all(f["status"] == "pass" for f in findings)

@@ -462,3 +462,81 @@ class TestFleetMetrics:
         assert "events_per_second" in payload
         assert stats.fleet.input_events == 200
         service.close()
+
+
+class TestSLOIntegration:
+    class FakeTenant(TestSchedulerPolicies.FakeTenant):
+        def __init__(self, index, name=None, **kw):
+            super().__init__(index, **kw)
+            self.name = name or f"t{index}"
+
+    def test_urgent_tenant_escalates_past_policy(self):
+        scheduler = TickScheduler(RoundRobinPolicy())
+        normal = self.FakeTenant(0)
+        burning = self.FakeTenant(1)
+        # without urgency round-robin starts at tenant 0
+        assert scheduler.select([normal, burning], now=1.0) is normal
+        # SLO monitor flags tenant 1: it jumps the policy
+        assert scheduler.select([normal, burning], now=1.0, urgent={"t1"}) is burning
+        assert scheduler.escalations == 1
+        assert scheduler.slo_escalations == 1
+
+    def test_overdue_deadline_outranks_urgent(self):
+        """An SLO-urgent tenant escalates at urgency 0, so a genuinely
+        overdue hard deadline still wins the tie-break."""
+        scheduler = TickScheduler(RoundRobinPolicy())
+        overdue = self.FakeTenant(0, deadline=1.0)
+        burning = self.FakeTenant(1)
+        choice = scheduler.select([overdue, burning], now=5.0, urgent={"t1"})
+        assert choice is overdue
+        assert scheduler.escalations == 1
+        assert scheduler.slo_escalations == 0  # deadline, not SLO, won
+
+    def test_urgent_names_not_in_ready_are_ignored(self):
+        scheduler = TickScheduler(RoundRobinPolicy())
+        a, b = self.FakeTenant(0), self.FakeTenant(1)
+        assert scheduler.select([a, b], now=1.0, urgent={"elsewhere"}) is a
+        assert scheduler.escalations == 0
+
+    def test_stats_slo_absent_without_spec(self):
+        with QueryService(workers=1) as service:
+            assert service.stats().slo is None
+            assert service.slo_monitor is None
+            assert service.telemetry is None
+
+    def test_stats_slo_present_and_verdict_formats(self):
+        with QueryService(workers=1, slo=True) as service:
+            app = get_application("trading")
+            streams = app.streams(200, seed=9)
+            service.submit(
+                app.program(),
+                name="t",
+                sources=sources_for_streams(streams, events_per_poll=60),
+            )
+            service.run_until_idle()
+            stats = service.stats()
+            assert stats.slo is not None
+            assert stats.slo.verdict == "healthy"
+            assert stats.summary()["slo_verdict"] == "healthy"
+            assert "[healthy]" in stats.format()
+
+    def test_failed_tenant_breaches_until_cancelled(self):
+        from repro.core.runtime.stream import Event
+
+        with QueryService(workers=1, slo=True) as service:
+            app = get_application("trading")
+            service.submit(app.program(), name="bad")
+            service.ingest("bad", [Event(0.0, 10.0, 1.0), Event(5.0, 15.0, 2.0)])
+            service.run_until_idle(max_ticks=5)
+            status = service.stats().slo
+            assert status.verdict == "degraded"
+            assert status.failed_tenants == ["bad"]
+            # the operator acknowledges the failure: breach state clears
+            service.slo_monitor.forget("bad")
+            assert service.stats().slo.verdict == "healthy"
+
+    def test_slo_escalations_reported_in_summary(self):
+        with QueryService(workers=1, slo=True) as service:
+            service.run_until_idle()
+            summary = service.stats().summary()
+            assert "slo_escalations" in summary

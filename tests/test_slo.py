@@ -1,0 +1,260 @@
+"""Per-tenant SLOs: burn-rate evaluation, verdicts, breach events.
+
+The properties that matter:
+
+* **Multi-window discipline** — an objective breaches only when the burn
+  rate exceeds the threshold in *both* the fast and the slow window, and
+  recovers as soon as the fast window cools (a slow-window-only alert
+  would stay red long after the problem stopped).
+* **Verdict mapping** — shedding past budget is ``overloaded``;
+  latency/freshness/error breaches are ``degraded``; otherwise
+  ``healthy`` — and ``healthz()`` maps that to 200/503.
+* **Failure permanence** — a failed tenant stays in breach regardless of
+  elapsed time (windows forget; a dead tenant must not), until the
+  monitor is told to forget it.
+
+All tests drive an injected fake clock, so window arithmetic is exact.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.slo import (
+    DEGRADED,
+    ERRORS,
+    FRESHNESS,
+    HEALTHY,
+    LATENCY,
+    OVERLOADED,
+    SHED,
+    BurnWindow,
+    SLOMonitor,
+    SLOSpec,
+)
+
+
+class FakeClock:
+    def __init__(self, t=1000.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def monitor(spec=None, **kw) -> "tuple[SLOMonitor, FakeClock]":
+    clock = FakeClock()
+    return SLOMonitor(spec, clock=clock, **kw), clock
+
+
+# ---------------------------------------------------------------------- #
+# spec
+# ---------------------------------------------------------------------- #
+class TestSpec:
+    def test_resolve_forms(self):
+        assert SLOSpec.resolve(True) == SLOSpec()
+        spec = SLOSpec(tick_p99_seconds=0.5)
+        assert SLOSpec.resolve(spec) is spec
+        assert SLOSpec.resolve({"tick_p99_seconds": 0.5}).tick_p99_seconds == 0.5
+        with pytest.raises(TypeError):
+            SLOSpec.resolve(42)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"tick_p99_seconds": 0.0},
+            {"emit_gap_seconds": -1.0},
+            {"max_shed_ratio": 0.0},
+            {"max_shed_ratio": 1.5},
+            {"latency_objective": 1.0},
+            {"freshness_objective": 0.0},
+            {"fast_window_seconds": 300.0, "slow_window_seconds": 60.0},
+            {"burn_rate_threshold": 0.0},
+        ],
+    )
+    def test_validation(self, kw):
+        with pytest.raises(ValueError):
+            SLOSpec(**kw)
+
+    def test_to_dict_round_trips(self):
+        spec = SLOSpec(emit_gap_seconds=2.0)
+        assert SLOSpec(**spec.to_dict()) == spec
+
+
+class TestBurnWindow:
+    def test_prunes_past_horizon(self):
+        w = BurnWindow(10.0)
+        w.record(0.0, good=1, bad=1)
+        w.record(5.0, good=0, bad=2)
+        assert w.bad_ratio(5.0) == pytest.approx(3 / 4)
+        # the t=0 entry ages out; only the t=5 one remains
+        assert w.bad_ratio(10.5) == pytest.approx(1.0)
+        assert w.totals(16.0) == (0, 0)
+        assert w.bad_ratio(16.0) == 0.0  # empty window: no evidence, no burn
+
+
+# ---------------------------------------------------------------------- #
+# burn-rate evaluation
+# ---------------------------------------------------------------------- #
+class TestBurnRate:
+    def test_slow_ticks_breach_latency_and_recover(self):
+        mon, clock = monitor(SLOSpec(tick_p99_seconds=0.1, max_shed_ratio=None))
+        mon.watch("t")
+        # 50% bad ticks: burn = 0.5 / 0.01 budget = 50 >> threshold 6
+        for i in range(20):
+            mon.record_tick("t", seconds=0.2 if i % 2 else 0.01)
+            clock.advance(0.1)
+        status = mon.evaluate()
+        assert status.verdict == DEGRADED
+        assert status.tenants["t"][LATENCY].breached
+        assert [b for b in status.recent_breaches if b.kind == "breach"]
+        # fast window cools: the breach clears even though the slow window
+        # still remembers the bad ticks
+        clock.advance(61.0)
+        for _ in range(10):
+            mon.record_tick("t", seconds=0.01)
+            clock.advance(0.1)
+        status = mon.evaluate()
+        assert status.verdict == HEALTHY
+        assert not status.tenants["t"][LATENCY].breached
+        kinds = [b.kind for b in status.recent_breaches]
+        assert "recovery" in kinds
+
+    def test_breach_requires_both_windows(self):
+        """Bad ticks old enough to have left the fast window must not
+        breach — that is the fast window's whole job."""
+        mon, clock = monitor(SLOSpec(tick_p99_seconds=0.1, max_shed_ratio=None))
+        mon.watch("t")
+        for _ in range(20):
+            mon.record_tick("t", seconds=0.5)  # all bad
+        clock.advance(100.0)  # past fast (60s), inside slow (300s)
+        for _ in range(50):
+            mon.record_tick("t", seconds=0.01)  # fast window sees only good
+        status = mon.evaluate()
+        obj = status.tenants["t"][LATENCY]
+        assert obj.burn_slow > mon.spec.burn_rate_threshold
+        assert obj.burn_fast < mon.spec.burn_rate_threshold
+        assert not obj.breached
+        assert status.verdict == HEALTHY
+
+    def test_shedding_past_budget_is_overloaded(self):
+        mon, clock = monitor()
+        mon.watch("t")
+        mon.record_ingest("t", accepted=50, shed=50)  # ratio 0.5 / budget 0.05
+        status = mon.evaluate()
+        assert status.tenants["t"][SHED].breached
+        assert status.verdict == OVERLOADED
+        code, body = mon.healthz()
+        assert code == 503
+        assert body["status"] == OVERLOADED
+        assert body["breached"] == {"t": [SHED]}
+
+    def test_freshness_objective(self):
+        spec = SLOSpec(tick_p99_seconds=None, emit_gap_seconds=0.1, max_shed_ratio=None)
+        mon, clock = monitor(spec)
+        mon.watch("t")
+        for _ in range(10):
+            mon.record_tick("t", seconds=0.01, emitted=True, emit_gap=1.0)
+            clock.advance(0.1)
+        status = mon.evaluate()
+        assert status.tenants["t"][FRESHNESS].breached
+        assert status.verdict == DEGRADED
+
+    def test_unemitting_ticks_do_not_feed_freshness(self):
+        spec = SLOSpec(tick_p99_seconds=None, emit_gap_seconds=0.1, max_shed_ratio=None)
+        mon, _ = monitor(spec)
+        mon.watch("t")
+        mon.record_tick("t", seconds=0.01, emitted=False, emit_gap=None)
+        status = mon.evaluate()
+        assert status.tenants["t"][FRESHNESS].burn_fast == 0.0
+
+    def test_per_tenant_spec_override(self):
+        mon, _ = monitor(SLOSpec(tick_p99_seconds=10.0, max_shed_ratio=None))
+        mon.watch("strict", SLOSpec(tick_p99_seconds=0.001, max_shed_ratio=None))
+        mon.watch("lax")
+        for _ in range(10):
+            mon.record_tick("strict", seconds=0.01)
+            mon.record_tick("lax", seconds=0.01)
+        status = mon.evaluate()
+        assert status.tenants["strict"][LATENCY].breached
+        assert not status.tenants["lax"][LATENCY].breached
+
+
+# ---------------------------------------------------------------------- #
+# failure, urgency, lifecycle
+# ---------------------------------------------------------------------- #
+class TestFailureAndUrgency:
+    def test_failure_is_permanent_until_forgotten(self):
+        mon, clock = monitor()
+        mon.watch("t")
+        mon.record_failure("t", error="boom")
+        status = mon.evaluate()
+        assert status.verdict == DEGRADED
+        assert status.failed_tenants == ["t"]
+        assert status.tenants["t"][ERRORS].breached
+        clock.advance(10_000.0)  # windows would long since have forgotten
+        assert mon.evaluate().verdict == DEGRADED
+        assert mon.healthz()[0] == 503
+        mon.forget("t")
+        assert mon.evaluate().verdict == HEALTHY
+        assert mon.healthz()[0] == 200
+
+    def test_record_failure_emits_one_breach(self):
+        registry = MetricsRegistry()
+        mon, _ = monitor(registry=registry)
+        mon.record_failure("t", error="boom")
+        mon.record_failure("t", error="boom again")  # idempotent
+        breaches = [b for b in mon.breaches() if b.objective == ERRORS]
+        assert len(breaches) == 1
+        assert registry.counter("repro_slo_breaches_total").value == 1
+
+    def test_urgent_covers_only_scheduling_fixable_breaches(self):
+        """Latency is a compute problem and failed tenants are gone — only
+        freshness and shedding breaches should escalate scheduling."""
+        spec = SLOSpec(tick_p99_seconds=0.1, emit_gap_seconds=0.1, max_shed_ratio=0.05)
+        mon, _ = monitor(spec)
+        for name in ("slow", "stale", "shedding", "dead"):
+            mon.watch(name)
+        for _ in range(10):
+            mon.record_tick("slow", seconds=1.0)  # latency breach
+            mon.record_tick("stale", seconds=0.01, emit_gap=5.0)  # freshness
+        mon.record_ingest("shedding", accepted=10, shed=90)
+        mon.record_failure("dead")
+        assert mon.urgent_tenants() == frozenset({"stale", "shedding"})
+
+    def test_evaluate_empty_monitor_is_healthy(self):
+        mon, _ = monitor()
+        status = mon.evaluate()
+        assert status.verdict == HEALTHY
+        assert status.healthy
+        assert status.to_dict()["tenants"] == {}
+
+    def test_breach_counter_increments_on_transition_only(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        mon = SLOMonitor(
+            SLOSpec(tick_p99_seconds=0.1, max_shed_ratio=None),
+            clock=clock,
+            registry=registry,
+        )
+        mon.watch("t")
+        for _ in range(10):
+            mon.record_tick("t", seconds=1.0)
+        mon.evaluate()
+        mon.evaluate()  # still breached: no second event
+        counter = registry.counter("repro_slo_breaches_total")
+        assert counter.value == 1
+
+    def test_status_document_is_json_friendly(self):
+        import json
+
+        mon, _ = monitor()
+        mon.watch("t")
+        mon.record_tick("t", seconds=1.0)
+        mon.record_failure("t", error="x")
+        doc = mon.evaluate().to_dict()
+        json.dumps(doc)  # must not raise
+        assert doc["verdict"] == DEGRADED
+        assert doc["failed_tenants"] == ["t"]

@@ -1,0 +1,301 @@
+"""The HTTP telemetry endpoint: routes, concurrency, health transitions.
+
+Three layers of guarantees:
+
+* **Route contract** (stub providers): each route serves its provider's
+  payload with the right status/content type, missing providers degrade
+  predictably (404, or plain liveness for ``/healthz``), and a provider
+  that raises becomes a 500 — never a dead server.
+* **Concurrency** (live fleet): scraper threads hammering the endpoint
+  while a 20-tenant fleet runs must neither crash nor perturb the fleet —
+  every tenant's output stays byte-identical to its standalone run.
+* **Health transitions**: ``/healthz`` flips 200 → 503 when a tenant is
+  failure-isolated and when overload shedding blows the SLO budget, and
+  the endpoint shuts down cleanly (port released, threads joined) on
+  ``close()``.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.apps import get_application
+from repro.core.runtime.engine import TiltEngine
+from repro.core.runtime.stream import Event
+from repro.datagen.sources import sources_for_streams
+from repro.obs import TelemetryServer
+from repro.serve import QueryService
+
+TENANT_APPS = [
+    "trading", "rsi", "normalize", "impute", "resample", "pantom",
+    "vibration", "frauddet", "ysb", "select", "where", "wsum", "join",
+    "trading", "ysb", "normalize", "frauddet", "rsi", "wsum", "impute",
+]
+N_EVENTS = 300
+#: events per fleet tenant in the equivalence test (matches the service
+#: suite's proven tick-size configuration)
+FLEET_EVENTS = 500
+
+
+def get(base, route):
+    """(status, headers, body) of one request; HTTP errors are responses."""
+    try:
+        with urllib.request.urlopen(base + route, timeout=5) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read()
+
+
+# ---------------------------------------------------------------------- #
+# route contract (stub providers)
+# ---------------------------------------------------------------------- #
+class TestRoutes:
+    def make(self, **providers):
+        server = TelemetryServer(port=0, **providers).start()
+        return server, server.url
+
+    def test_all_routes_serve_their_providers(self):
+        server, base = self.make(
+            metrics=lambda: "repro_up 1\n",
+            health=lambda: (200, {"status": "healthy"}),
+            slo=lambda: {"verdict": "healthy"},
+            tenants=lambda: {"t0": {"state": "active"}},
+            trace=lambda tenant: {"traceEvents": [], "tenant": tenant},
+        )
+        try:
+            status, headers, body = get(base, "/metrics")
+            assert status == 200
+            assert body == b"repro_up 1\n"
+            assert headers["Content-Type"].startswith("text/plain")
+            assert "0.0.4" in headers["Content-Type"]
+
+            status, headers, body = get(base, "/healthz")
+            assert (status, json.loads(body)["status"]) == (200, "healthy")
+            assert headers["Content-Type"].startswith("application/json")
+
+            assert json.loads(get(base, "/slo")[2]) == {"verdict": "healthy"}
+            assert json.loads(get(base, "/tenants")[2]) == {"t0": {"state": "active"}}
+            assert json.loads(get(base, "/trace")[2])["tenant"] is None
+            assert json.loads(get(base, "/trace?tenant=t0")[2])["tenant"] == "t0"
+
+            index = json.loads(get(base, "/")[2])
+            assert set(index["routes"]) == {
+                "/", "/metrics", "/healthz", "/slo", "/tenants", "/trace",
+            }
+            counts = server.request_counts()
+            assert counts["/metrics"] == 1 and counts["/trace"] == 2
+        finally:
+            server.close()
+
+    def test_missing_providers_degrade(self):
+        server, base = self.make(metrics=lambda: "x 1\n")
+        try:
+            # no SLO engine: /healthz is plain liveness, JSON routes 404
+            status, _, body = get(base, "/healthz")
+            assert (status, json.loads(body)["status"]) == (200, "ok")
+            assert get(base, "/slo")[0] == 404
+            assert get(base, "/tenants")[0] == 404
+            assert get(base, "/trace")[0] == 404
+            assert get(base, "/nope")[0] == 404
+            assert set(json.loads(get(base, "/")[2])["routes"]) == {
+                "/", "/metrics", "/healthz",
+            }
+        finally:
+            server.close()
+
+    def test_unhealthy_provider_maps_to_503(self):
+        server, base = self.make(health=lambda: (503, {"status": "degraded"}))
+        try:
+            status, _, body = get(base, "/healthz")
+            assert (status, json.loads(body)["status"]) == (503, "degraded")
+        finally:
+            server.close()
+
+    def test_raising_provider_is_a_500_not_a_crash(self):
+        def boom():
+            raise RuntimeError("provider broke")
+
+        server, base = self.make(metrics=boom, tenants=lambda: {"ok": 1})
+        try:
+            status, _, body = get(base, "/metrics")
+            assert status == 500
+            assert "provider broke" in json.loads(body)["error"]
+            # the server survived and other routes still work
+            assert get(base, "/tenants")[0] == 200
+        finally:
+            server.close()
+
+    def test_lifecycle(self):
+        server = TelemetryServer(metrics=lambda: "x 1\n", port=0)
+        assert server.port is None and server.url is None and not server.running
+        server.start()
+        server.start()  # idempotent
+        port = server.port
+        assert port and server.running
+        server.close()
+        server.close()  # idempotent
+        assert server.port is None and not server.running
+        with pytest.raises(OSError):
+            urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics", timeout=0.5)
+
+    def test_context_manager(self):
+        with TelemetryServer(metrics=lambda: "x 1\n", port=0) as server:
+            assert get(server.url, "/metrics")[0] == 200
+        assert not server.running
+
+
+# ---------------------------------------------------------------------- #
+# live fleet under scrape load
+# ---------------------------------------------------------------------- #
+class TestFleetUnderScrape:
+    def test_twenty_tenants_scraped_concurrently_stay_byte_identical(self):
+        """4 scraper threads hammer every route while the 20-tenant fleet
+        runs to completion; the scrape must never fail and never perturb
+        tenant output."""
+        engine = TiltEngine(workers=4)
+        service = QueryService(engine, slo=True, telemetry_port=0)
+        programs = {app: get_application(app).program() for app in set(TENANT_APPS)}
+        datasets = {}
+        for i, app in enumerate(TENANT_APPS):
+            streams = get_application(app).streams(FLEET_EVENTS, seed=i)
+            datasets[f"{app}#{i}"] = (app, streams)
+            service.submit(
+                programs[app],
+                name=f"{app}#{i}",
+                sources=sources_for_streams(streams, events_per_poll=123 + 7 * (i % 5)),
+            )
+        base = service.telemetry.url
+        stop = threading.Event()
+        failures = []
+
+        def scrape():
+            routes = ("/metrics", "/healthz", "/slo", "/tenants", "/")
+            while not stop.is_set():
+                for route in routes:
+                    status, headers, body = get(base, route)
+                    if status != 200:
+                        failures.append((route, status, body[:200]))
+                    if route == "/metrics" and b"repro_ticks_total" not in body:
+                        failures.append((route, "missing series", body[:200]))
+
+        scrapers = [threading.Thread(target=scrape) for _ in range(4)]
+        for thread in scrapers:
+            thread.start()
+        try:
+            service.run_until_idle()
+        finally:
+            stop.set()
+            for thread in scrapers:
+                thread.join()
+        assert not failures, failures[:5]
+        assert service.active_tenants() == []
+
+        for name, (app, streams) in datasets.items():
+            standalone = engine.open_session(
+                programs[app], sources_for_streams(streams, events_per_poll=211)
+            )
+            standalone.run_to_exhaustion()
+            assert service.result(name).output == standalone.result().output, name
+
+        service.close()
+        engine.close()
+
+    def test_scrapes_of_quiet_fleet_are_byte_identical(self):
+        """Between ticks nothing mutates, so concurrent scrapes of the same
+        route must return byte-identical payloads."""
+        service = QueryService(workers=1, slo=True, telemetry_port=0)
+        app = get_application("trading")
+        streams = app.streams(N_EVENTS, seed=3)
+        service.submit(
+            app.program(), name="t", sources=sources_for_streams(streams, events_per_poll=100)
+        )
+        service.run_until_idle()
+        base = service.telemetry.url
+        bodies = []
+        lock = threading.Lock()
+
+        def scrape():
+            body = get(base, "/metrics")[2]
+            with lock:
+                bodies.append(body)
+
+        threads = [threading.Thread(target=scrape) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(bodies)) == 1
+        service.close()
+
+
+# ---------------------------------------------------------------------- #
+# health transitions on a live service
+# ---------------------------------------------------------------------- #
+class TestHealthTransitions:
+    def test_tenant_failure_flips_healthz_to_503(self):
+        service = QueryService(workers=1, slo=True, telemetry_port=0)
+        base = service.telemetry.url
+        app = get_application("trading")
+        streams = app.streams(N_EVENTS, seed=5)
+        service.submit(
+            app.program(), name="ok", sources=sources_for_streams(streams, events_per_poll=100)
+        )
+        status, _, body = get(base, "/healthz")
+        assert (status, json.loads(body)["status"]) == (200, "healthy")
+
+        service.submit(app.program(), name="broken")
+        service.ingest("broken", [Event(0.0, 10.0, 1.0), Event(5.0, 15.0, 2.0)])
+        service.run_until_idle()
+
+        status, _, body = get(base, "/healthz")
+        doc = json.loads(body)
+        assert status == 503
+        assert doc["status"] == "degraded"
+        assert doc["failed_tenants"] == ["broken"]
+        assert doc["breached"] == {"broken": ["errors"]}
+        # the healthy tenant ran to completion regardless
+        assert service.stats().tenants["ok"]["state"] == "finished"
+        # /slo carries the full evidence document
+        slo_doc = json.loads(get(base, "/slo")[2])
+        assert slo_doc["verdict"] == "degraded"
+        assert any(
+            b["objective"] == "errors" and b["tenant"] == "broken"
+            for b in slo_doc["recent_breaches"]
+        )
+        service.close()
+
+    def test_overload_shedding_flips_healthz_to_overloaded(self):
+        service = QueryService(
+            workers=1,
+            slo={"max_shed_ratio": 0.05, "tick_p99_seconds": None},
+            telemetry_port=0,
+            max_pending_events=64,
+            overload="shed",
+        )
+        base = service.telemetry.url
+        app = get_application("trading")
+        service.submit(app.program(), name="flooded")
+        assert get(base, "/healthz")[0] == 200
+        # 64-slot queue, 512 offered without draining: most are shed
+        events = [Event(float(i) * 0.01, float(i) * 0.01 + 0.005, 1.0) for i in range(512)]
+        accepted = service.ingest("flooded", events, stream="stock")
+        assert accepted < len(events)
+
+        status, _, body = get(base, "/healthz")
+        doc = json.loads(body)
+        assert status == 503
+        assert doc["status"] == "overloaded"
+        assert doc["breached"] == {"flooded": ["shed"]}
+        service.close()
+
+    def test_close_shuts_endpoint_down(self):
+        service = QueryService(workers=1, slo=True, telemetry_port=0)
+        port = service.telemetry.port
+        assert get(service.telemetry.url, "/healthz")[0] == 200
+        service.close()
+        assert not service.telemetry.running
+        with pytest.raises(OSError):
+            urllib.request.urlopen(f"http://127.0.0.1:{port}/healthz", timeout=0.5)
