@@ -25,6 +25,7 @@ from __future__ import annotations
 import pytest
 
 from repro.apps import YSB
+from repro.core.codegen.native import native_available
 from repro.core.runtime.engine import TiltEngine
 from repro.spe import GrizzlyEngine, LightSaberEngine, StreamBoxEngine, TrillEngine
 
@@ -33,6 +34,9 @@ from benchutil import record_throughput, tilt_native_inputs
 NUM_EVENTS = 60_000
 WORKER_SWEEP = [1, 2, 4, 8]
 TILT_BACKENDS = ["serial", "thread", "process"]
+#: codegen tiers swept for the TiLT series — the native tier is skipped
+#: (not silently folded into numpy numbers) when the toolchain is absent
+TILT_TIERS = ["numpy"] + (["native"] if native_available() else [])
 
 
 @pytest.fixture(scope="module")
@@ -51,20 +55,22 @@ def _events(streams):
 
 @pytest.mark.parametrize("workers", WORKER_SWEEP)
 class TestScalability:
+    @pytest.mark.parametrize("tier", TILT_TIERS)
     @pytest.mark.parametrize("backend", TILT_BACKENDS)
-    def test_tilt(self, benchmark, ysb_streams, workers, backend):
-        engine = TiltEngine(workers=workers, executor_kind=backend)
+    def test_tilt(self, benchmark, ysb_streams, workers, backend, tier):
+        engine = TiltEngine(workers=workers, executor_kind=backend, codegen_tier=tier)
         try:
             compiled = engine.compile(YSB.program())
             inputs = tilt_native_inputs(ysb_streams)
             # warm up the worker pool outside the timed region: process
-            # workers fork and rebuild the kernels once, exactly as a
-            # long-lived engine amortizes them in production
+            # workers fork and rebuild the kernels once (the native tier
+            # additionally JIT-compiles into the shared disk cache),
+            # exactly as a long-lived engine amortizes them in production
             engine.run(compiled, inputs)
             benchmark.pedantic(lambda: engine.run(compiled, inputs), rounds=3, iterations=1)
             record_throughput(
                 benchmark,
-                f"Fig8/ysb tilt-{backend} workers={workers}",
+                f"Fig8/ysb tilt-{backend} workers={workers} tier={tier}",
                 _events(ysb_streams),
             )
         finally:

@@ -34,7 +34,9 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.apps import YSB
+from repro.apps import YSB, get_application
+from repro.core.codegen.compiled import compile_program
+from repro.core.codegen.native import native_available
 from repro.core.ir import IRBuilder
 from repro.core.runtime.engine import TiltEngine
 from repro.core.runtime.stream import EventStream
@@ -46,6 +48,23 @@ TICK_EVENT_SWEEP = [1_000, 5_000, 20_000]
 CHUNK_EVENTS = 20_000
 WARMUP_TICKS = 3
 MEASURED_TICKS = 12
+
+# --- codegen tier sweep ----------------------------------------------------
+# kernel-bound windowed-aggregate workloads: repeated execution of a warm
+# compiled query over a preloaded window — the partition path process-pool
+# workers run, where kernel time (not per-tick session bookkeeping)
+# dominates and the native tier's single-pass lowering shows its real
+# advantage.  Warm-up (JIT compile + first run) happens outside the timed
+# region; throughput is best-of-reps to filter scheduler noise.
+KERNEL_BOUND_APPS = ["trading", "normalize", "rsi"]
+KERNEL_BOUND_EVENTS = 200_000
+KERNEL_BOUND_REPS = 5
+
+
+def available_tiers() -> List[str]:
+    """Codegen tiers this host can measure; native is skipped (not silently
+    measured as numpy) when the cffi + C-compiler toolchain is absent."""
+    return ["numpy"] + (["native"] if native_available() else [])
 
 # --- trace overhead --------------------------------------------------------
 # one mid-sweep configuration measured with tracing off and on; interleaved
@@ -84,16 +103,17 @@ def measure_steady_state(
     warmup_ticks: int = WARMUP_TICKS,
     measured_ticks: int = MEASURED_TICKS,
     trace: bool = None,
+    codegen_tier: str = "numpy",
 ) -> Dict[str, float]:
     """Steady-state ingest rate of one session configuration.
 
-    Warmup ticks populate the carry-over state and amortize one-time costs,
-    then throughput is read from the rolling window over the measured ticks.
-    ``trace`` is forwarded to :class:`TiltEngine` (``None`` resolves from
-    ``REPRO_TRACE``, so the default sweep measures whatever the environment
-    asks for).
+    Warmup ticks populate the carry-over state and amortize one-time costs
+    (including native-tier JIT compilation), then throughput is read from
+    the rolling window over the measured ticks.  ``trace`` is forwarded to
+    :class:`TiltEngine` (``None`` resolves from ``REPRO_TRACE``, so the
+    default sweep measures whatever the environment asks for).
     """
-    engine = TiltEngine(workers=workers, trace=trace)
+    engine = TiltEngine(workers=workers, trace=trace, codegen_tier=codegen_tier)
     try:
         session = engine.open_session(
             YSB.program(), ysb_sources(events_per_tick), retain_output=False
@@ -109,6 +129,7 @@ def measure_steady_state(
         spans = len(engine.tracer.snapshot()) if engine.tracer.enabled else 0
         return {
             "workers": float(workers),
+            "tier": codegen_tier,
             "events_per_tick": float(events_per_tick),
             "events_per_second": events / busy if busy > 0 else float("inf"),
             "tick_p50_ms": session.metrics.latency.p50 * 1e3,
@@ -120,21 +141,91 @@ def measure_steady_state(
         engine.close()
 
 
-def run_sweep(worker_sweep=WORKER_SWEEP, tick_sweep=TICK_EVENT_SWEEP) -> List[Dict[str, float]]:
+def run_sweep(
+    worker_sweep=WORKER_SWEEP, tick_sweep=TICK_EVENT_SWEEP, tiers=("numpy",)
+) -> List[Dict[str, float]]:
     rows = []
     print(
-        f"{'workers':>8} {'tick events':>12} {'M events/s':>12} "
+        f"{'workers':>8} {'tier':>7} {'tick events':>12} {'M events/s':>12} "
         f"{'tick p50 (ms)':>14} {'tick p99 (ms)':>14} {'retained':>9}"
     )
-    for workers in worker_sweep:
-        for events_per_tick in tick_sweep:
-            row = measure_steady_state(workers, events_per_tick)
+    for tier in tiers:
+        for workers in worker_sweep:
+            for events_per_tick in tick_sweep:
+                row = measure_steady_state(workers, events_per_tick, codegen_tier=tier)
+                rows.append(row)
+                print(
+                    f"{workers:>8d} {tier:>7} {events_per_tick:>12,d} "
+                    f"{row['events_per_second'] / 1e6:>12.3f} "
+                    f"{row['tick_p50_ms']:>14.2f} {row['tick_p99_ms']:>14.2f} "
+                    f"{int(row['retained_snapshots']):>9d}"
+                )
+    return rows
+
+
+def measure_kernel_throughput(
+    app_name: str,
+    codegen_tier: str,
+    *,
+    n_events: int = KERNEL_BOUND_EVENTS,
+    reps: int = KERNEL_BOUND_REPS,
+) -> Dict[str, float]:
+    """Sustained ev/s of a warm compiled query over a preloaded window.
+
+    This is the partition execution path (``CompiledQuery.run`` over
+    snapshot buffers already in memory) — what each pool worker runs per
+    partition, with session/tick bookkeeping excluded.  Compilation and a
+    first full run happen outside the timed region, so the native tier's
+    JIT cost never leaks into the measurement; best-of-``reps`` filters
+    scheduler noise.
+    """
+    import benchutil
+
+    app = get_application(app_name)
+    inputs = benchutil.tilt_native_inputs(app.streams(n_events, seed=7))
+    events = sum(len(buf) for buf in inputs.values())
+    t_end = max(float(buf.times[-1]) for buf in inputs.values()) + 1.0
+    compiled = compile_program(app.program(), codegen_tier=codegen_tier)
+    compiled.run(inputs, 0.0, t_end)  # warm-up: JIT compile + allocator
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        compiled.run(inputs, 0.0, t_end)
+        best = min(best, time.perf_counter() - start)
+    return {
+        "app": app_name,
+        "tier": codegen_tier,
+        "events": float(events),
+        "events_per_second": events / best,
+        "run_ms": best * 1e3,
+    }
+
+
+def run_kernel_bound_sweep(
+    apps=KERNEL_BOUND_APPS,
+    tiers=None,
+    *,
+    n_events: int = KERNEL_BOUND_EVENTS,
+    reps: int = KERNEL_BOUND_REPS,
+) -> List[Dict[str, float]]:
+    """Kernel-bound windowed-aggregate workloads, one row per (app, tier)."""
+    tiers = available_tiers() if tiers is None else list(tiers)
+    rows = []
+    print(f"{'app':>10} {'tier':>7} {'M events/s':>12} {'run (ms)':>10} {'speedup':>8}")
+    for app_name in apps:
+        per_tier = {}
+        for tier in tiers:
+            row = measure_kernel_throughput(app_name, tier, n_events=n_events, reps=reps)
+            per_tier[tier] = row
             rows.append(row)
+            speedup = (
+                f"{row['events_per_second'] / per_tier['numpy']['events_per_second']:>7.2f}x"
+                if tier != "numpy" and "numpy" in per_tier
+                else f"{'—':>8}"
+            )
             print(
-                f"{workers:>8d} {events_per_tick:>12,d} "
-                f"{row['events_per_second'] / 1e6:>12.3f} "
-                f"{row['tick_p50_ms']:>14.2f} {row['tick_p99_ms']:>14.2f} "
-                f"{int(row['retained_snapshots']):>9d}"
+                f"{app_name:>10} {tier:>7} {row['events_per_second'] / 1e6:>12.3f} "
+                f"{row['run_ms']:>10.2f} {speedup}"
             )
     return rows
 
@@ -445,6 +536,18 @@ def test_sustained_throughput_smoke():
         )
 
 
+def test_kernel_bound_tier_smoke():
+    """CI-sized kernel-bound point: both tiers run and produce output; the
+    native-vs-numpy speedup itself is asserted on the committed baseline
+    (full-size runs), not here where the dataset is too small to be stable."""
+    rows = run_kernel_bound_sweep(apps=["trading"], n_events=40_000, reps=2)
+    assert all(row["events_per_second"] > 0 for row in rows)
+    tiers = {row["tier"] for row in rows}
+    assert "numpy" in tiers
+    if native_available():
+        assert "native" in tiers
+
+
 def test_incremental_lookback_smoke():
     """CI-sized lookback point: incremental must not be slower than full
     recompute once the window is a few ticks deep."""
@@ -486,6 +589,17 @@ def main() -> None:
     parser.add_argument("--workers", type=int, nargs="*", default=WORKER_SWEEP)
     parser.add_argument("--tick-events", type=int, nargs="*", default=TICK_EVENT_SWEEP)
     parser.add_argument(
+        "--tiers", nargs="*", default=None,
+        help="codegen tiers to sweep (default: numpy plus native when the "
+        "toolchain is available)",
+    )
+    parser.add_argument(
+        "--kernel-bound",
+        action="store_true",
+        help="also measure the kernel-bound windowed-aggregate workloads "
+        "(warm compiled-query throughput per codegen tier)",
+    )
+    parser.add_argument(
         "--lookback-sweep",
         action="store_true",
         help="also sweep window depth: incremental vs. full-recompute tick cost",
@@ -517,7 +631,10 @@ def main() -> None:
     if args.quick:
         args.workers = [1, 2]
         args.tick_events = [5_000]
-    rows = run_sweep(args.workers, args.tick_events)
+        args.kernel_bound = True
+    tiers = available_tiers() if args.tiers is None else args.tiers
+    rows = run_sweep(args.workers, args.tick_events, tiers)
+    kernel_rows = run_kernel_bound_sweep(tiers=tiers) if args.kernel_bound else []
     lookback_rows = run_lookback_sweep(args.depths) if args.lookback_sweep else []
     trace_rows = run_trace_overhead() if args.trace_overhead else []
     telemetry_rows = run_telemetry_overhead() if args.telemetry_overhead else []
@@ -528,12 +645,21 @@ def main() -> None:
                 params={
                     "workers": int(row["workers"]),
                     "events_per_tick": int(row["events_per_tick"]),
+                    "tier": row["tier"],
                 },
                 events_per_sec=row["events_per_second"],
                 latency_percentiles={
                     "p50": row["tick_p50_ms"] / 1e3,
                     "p99": row["tick_p99_ms"] / 1e3,
                 },
+            )
+        for row in kernel_rows:
+            benchutil.record_result(
+                "sustained/kernel-bound",
+                params={"app": row["app"], "tier": row["tier"]},
+                events=int(row["events"]),
+                events_per_sec=row["events_per_second"],
+                extra={"run_ms": row["run_ms"]},
             )
         for row in lookback_rows:
             benchutil.record_result(

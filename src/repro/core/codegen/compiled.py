@@ -25,10 +25,27 @@ from ..ir.validation import validate_program
 from ..lineage.boundary import BoundarySpec, resolve_boundaries
 from ..optimizer.passes import PassManager, default_pass_manager
 from ..runtime.ssbuf import SSBuf
+from . import native
+from .native import NATIVE_TIER, NUMPY_TIER
 from .pysource import ELEMENT_FUNCTION_NAME, KERNEL_FUNCTION_NAME, KernelSpec, generate_kernel_spec
 from .runtime_support import KernelRuntime
 
-__all__ = ["CompiledKernel", "CompiledQuery", "compile_program"]
+__all__ = ["CompiledKernel", "CompiledQuery", "compile_program", "resolve_codegen_tier"]
+
+
+def resolve_codegen_tier(codegen_tier: str) -> str:
+    """Resolve a user-facing tier name to a concrete one.
+
+    ``"auto"`` picks the native tier exactly when its toolchain is present;
+    unknown names raise :class:`CompilationError`.
+    """
+    if codegen_tier not in native.CODEGEN_TIERS:
+        raise CompilationError(
+            f"unknown codegen tier {codegen_tier!r} (expected one of {native.CODEGEN_TIERS})"
+        )
+    if codegen_tier == "auto":
+        return NATIVE_TIER if native.native_available() else NUMPY_TIER
+    return codegen_tier
 
 #: per-process kernel rebuild cache, keyed by spec content digest.  When a
 #: pickled kernel arrives in a worker process (or is unpickled repeatedly in
@@ -37,15 +54,17 @@ __all__ = ["CompiledKernel", "CompiledQuery", "compile_program"]
 #: cache, and like it the cache is LRU-bounded so a long-lived worker
 #: serving an unbounded stream of distinct queries releases old kernels
 #: (owners of a live CompiledQuery keep their kernels referenced anyway).
-_KERNEL_REBUILD_CACHE: "OrderedDict[str, CompiledKernel]" = OrderedDict()
+_KERNEL_REBUILD_CACHE: "OrderedDict[Tuple[str, str], CompiledKernel]" = OrderedDict()
 _KERNEL_REBUILD_LOCK = threading.Lock()
 _KERNEL_REBUILD_LIMIT = 128
 
 
-def _rebuild_kernel(spec: KernelSpec) -> "CompiledKernel":
+def _rebuild_kernel(spec: KernelSpec, tier: str = NUMPY_TIER) -> "CompiledKernel":
     """Unpickle hook for :class:`CompiledKernel` (module-level so it pickles
-    by reference)."""
-    return CompiledKernel.from_spec(spec)
+    by reference).  The requested codegen tier rides in the pickle, so a
+    process-pool worker rebuilding a native-tier kernel re-instantiates it
+    natively (hitting the shared disk cache rather than the C compiler)."""
+    return CompiledKernel.from_spec(spec, tier=tier)
 
 
 class CompiledKernel:
@@ -59,8 +78,11 @@ class CompiledKernel:
     through the per-process rebuild cache.
     """
 
-    def __init__(self, spec: KernelSpec):
+    def __init__(self, spec: KernelSpec, tier: str = NUMPY_TIER):
         self.spec = spec
+        #: the *requested* codegen tier; :attr:`active_tier` is what actually
+        #: serves ``run`` after any per-kernel fallback
+        self.tier = tier
         element_functions = [
             self._compile_function(src, ELEMENT_FUNCTION_NAME, f"<tilt-element-{spec.name}-{i}>")
             for i, src in enumerate(spec.element_sources)
@@ -69,12 +91,22 @@ class CompiledKernel:
         self._function = self._compile_function(
             spec.source, KERNEL_FUNCTION_NAME, f"<tilt-kernel-{spec.name}>"
         )
+        self._native = None
+        self.native_fallback_reason: Optional[str] = None
+        self.native_build_seconds = 0.0
+        if tier == NATIVE_TIER:
+            import time as _time
+
+            started = _time.perf_counter()
+            self._native, self.native_fallback_reason = native.instantiate(spec)
+            self.native_build_seconds = _time.perf_counter() - started
+        self.active_tier = NATIVE_TIER if self._native is not None else NUMPY_TIER
 
     @classmethod
-    def from_spec(cls, spec: KernelSpec) -> "CompiledKernel":
+    def from_spec(cls, spec: KernelSpec, tier: str = NUMPY_TIER) -> "CompiledKernel":
         """Instantiate a kernel from its spec, reusing a previous
-        instantiation of an identical spec in this process."""
-        key = spec.digest()
+        instantiation of an identical (spec, tier) in this process."""
+        key = (spec.digest(), tier)
         with _KERNEL_REBUILD_LOCK:
             kernel = _KERNEL_REBUILD_CACHE.get(key)
             if kernel is not None:
@@ -82,7 +114,7 @@ class CompiledKernel:
                 return kernel
         # compile outside the lock: kernel compilation is the slow part and
         # two concurrent rebuilds of the same spec are merely redundant
-        kernel = cls(spec)
+        kernel = cls(spec, tier=tier)
         with _KERNEL_REBUILD_LOCK:
             existing = _KERNEL_REBUILD_CACHE.get(key)
             if existing is not None:
@@ -94,7 +126,7 @@ class CompiledKernel:
             return kernel
 
     def __reduce__(self):
-        return (_rebuild_kernel, (self.spec,))
+        return (_rebuild_kernel, (self.spec, self.tier))
 
     @staticmethod
     def _compile_function(source: str, function_name: str, filename: str):
@@ -126,8 +158,13 @@ class CompiledKernel:
         ``runtime`` substitutes a caller-owned runtime for the kernel's
         shared immutable one — incremental sessions pass their private
         :class:`~repro.core.codegen.incremental.IncrementalKernelRuntime`
-        here so reductions hit persistent per-session state.
+        here so reductions hit persistent per-session state.  A runtime
+        override therefore forces the NumPy path even on a native-tier
+        kernel: the override's whole point is interposing on ``rt.reduce``
+        calls, which the fused C loop does not make.
         """
+        if runtime is None and self._native is not None:
+            return self._native.run(env, t_start, t_end, self.runtime)
         return self._function(env, t_start, t_end, runtime if runtime is not None else self.runtime)
 
 
@@ -212,6 +249,11 @@ class CompiledQuery:
         """True when the whole query collapsed into a single kernel."""
         return len(self.kernels) == 1
 
+    @property
+    def codegen_tiers(self) -> Dict[str, str]:
+        """Per-kernel *active* tier (post-fallback), keyed by kernel name."""
+        return {k.name: k.active_tier for k in self.kernels}
+
     def kernel_named(self, name: str) -> CompiledKernel:
         for k in self.kernels:
             if k.name == name:
@@ -249,13 +291,17 @@ def compile_program(
     optimize: bool = True,
     enable_fusion: bool = True,
     pass_manager: Optional[PassManager] = None,
+    codegen_tier: str = NUMPY_TIER,
 ) -> CompiledQuery:
     """Validate, optimize and lower a TiLT program to a :class:`CompiledQuery`.
 
     ``optimize=False`` skips the optimizer entirely (the "UnOpt" configuration
     of the Figure 10 study); ``enable_fusion=False`` keeps the cleanup passes
-    but disables operator fusion.
+    but disables operator fusion.  ``codegen_tier`` selects the lowering
+    tier per kernel (``"numpy"``, ``"native"`` or ``"auto"``); native-tier
+    kernels that cannot be lowered fall back to NumPy individually.
     """
+    tier = resolve_codegen_tier(codegen_tier)
     validate_program(program)
     pm: Optional[PassManager] = None
     if optimize:
@@ -264,5 +310,7 @@ def compile_program(
     boundary = resolve_boundaries(program)
     order = topological_order(program)
     by_name: Dict[str, TemporalExpr] = {te.name: te for te in program.exprs}
-    kernels = [CompiledKernel(generate_kernel_spec(by_name[name])) for name in order]
+    kernels = [
+        CompiledKernel(generate_kernel_spec(by_name[name]), tier=tier) for name in order
+    ]
     return CompiledQuery(program=program, boundary=boundary, kernels=kernels, pass_manager=pm)

@@ -87,6 +87,12 @@ class KernelSpec:
     #: must carry state for.  Not part of :meth:`digest` — it is fully
     #: determined by ``source`` (every entry mirrors an emitted call).
     reduce_sites: List[Tuple[str, float, float, int, int]] = field(default_factory=list)
+    #: the fused IR this spec was generated from.  The native codegen tier
+    #: (:mod:`repro.core.codegen.native`) re-lowers it to C instead of
+    #: re-parsing :attr:`source`.  Not part of :meth:`digest` — like
+    #: :attr:`reduce_sites` it is fully determined by the same compilation
+    #: pass that produced ``source``, so it adds no identifying content.
+    te: Optional[TemporalExpr] = None
 
     def describe(self) -> str:
         """Generated source plus element maps — for logging and golden tests."""
@@ -372,6 +378,7 @@ class _KernelBuilder:
             accesses=accesses,
             referenced=list(accesses.keys()),
             reduce_sites=list(self.reduce_sites),
+            te=self.te,
         )
 
 

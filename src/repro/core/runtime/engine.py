@@ -27,7 +27,8 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 from ...errors import ExecutionError, QueryBuildError
 from ...obs.registry import MetricsRegistry
 from ...obs.trace import make_tracer
-from ..codegen.compiled import CompiledQuery, compile_program
+from ..codegen import native
+from ..codegen.compiled import CompiledQuery, compile_program, resolve_codegen_tier
 from ..codegen.interpreter import evaluate_program
 from ..ir.nodes import TiltProgram
 from ..lineage.boundary import BoundarySpec, resolve_boundaries
@@ -101,6 +102,15 @@ class TiltEngine:
     optimize / enable_fusion:
         Control the optimizer pipeline (see
         :func:`repro.core.codegen.compile_program`).
+    codegen_tier:
+        Kernel lowering tier: ``"numpy"`` (the reference vectorized tier),
+        ``"native"`` (single-pass compiled-C kernels via
+        :mod:`repro.core.codegen.native`, falling back per kernel when a
+        construct is not lowerable or the optional cffi/C-compiler
+        dependency is missing) or ``"auto"`` (native exactly when the
+        toolchain is present).  ``None`` (default) resolves to the
+        ``REPRO_CODEGEN`` environment variable, else ``"numpy"``.
+        Interpreted mode ignores the tier — it never generates kernels.
     incremental:
         Default for sessions opened on this engine: persist per-kernel
         window state across ticks so tick cost is O(new events) instead of
@@ -144,6 +154,7 @@ class TiltEngine:
         executor_kind: Optional[str] = None,
         optimize: bool = True,
         enable_fusion: bool = True,
+        codegen_tier: Optional[str] = None,
         incremental: Optional[bool] = None,
         compile_cache_size: int = 32,
         trace=None,
@@ -158,6 +169,13 @@ class TiltEngine:
         if executor_kind is not None and executor_kind not in EXECUTOR_KINDS:
             raise QueryBuildError(
                 f"unknown executor kind {executor_kind!r} (expected one of {EXECUTOR_KINDS})"
+            )
+        if codegen_tier is None:
+            codegen_tier = os.environ.get("REPRO_CODEGEN", "").strip() or native.NUMPY_TIER
+        if codegen_tier not in native.CODEGEN_TIERS:
+            raise QueryBuildError(
+                f"unknown codegen tier {codegen_tier!r} "
+                f"(expected one of {native.CODEGEN_TIERS})"
             )
         if incremental is None:
             incremental = os.environ.get("REPRO_INCREMENTAL", "").strip().lower() in (
@@ -175,6 +193,10 @@ class TiltEngine:
         self.executor_kind = executor_kind
         self.optimize = optimize
         self.enable_fusion = enable_fusion
+        # "auto" resolves once, at engine construction: every compile this
+        # engine performs uses one concrete tier, and the compile-cache key
+        # stays stable for the engine's lifetime
+        self.codegen_tier = resolve_codegen_tier(codegen_tier)
         self.incremental = bool(incremental)
         self.compile_cache_size = int(compile_cache_size)
         self.tracer = make_tracer(trace)
@@ -184,6 +206,14 @@ class TiltEngine:
         )
         self._m_compile_misses = self.registry.counter(
             "repro_compile_cache_misses_total", "Engine compile-cache misses"
+        )
+        self._m_native_compile_seconds = self.registry.counter(
+            "repro_native_compile_seconds_total",
+            "Wall-clock seconds spent building native-tier kernels",
+        )
+        self._m_native_fallbacks = self.registry.counter(
+            "repro_native_fallbacks_total",
+            "Kernels that requested the native tier but fell back to NumPy",
         )
         self._m_backend: Dict[str, tuple] = {}
         # shared across run() calls and all sessions of this engine: one
@@ -212,9 +242,18 @@ class TiltEngine:
     # ------------------------------------------------------------------ #
     def compile(self, program: TiltProgram) -> CompiledQuery:
         """Compile a program (always uses the code-generating backend)."""
-        return compile_program(
-            program, optimize=self.optimize, enable_fusion=self.enable_fusion
+        compiled = compile_program(
+            program,
+            optimize=self.optimize,
+            enable_fusion=self.enable_fusion,
+            codegen_tier=self.codegen_tier,
         )
+        for kernel in compiled.kernels:
+            if kernel.tier == native.NATIVE_TIER:
+                self._m_native_compile_seconds.inc(kernel.native_build_seconds)
+                if kernel.active_tier != native.NATIVE_TIER:
+                    self._m_native_fallbacks.inc()
+        return compiled
 
     def compile_cached(self, program: TiltProgram) -> CompiledQuery:
         """Compile ``program``, reusing a previous compilation of the same
@@ -240,7 +279,7 @@ class TiltEngine:
         invalidates running work — at worst a later ``open_session`` over an
         evicted program recompiles.
         """
-        key = (id(program), self.optimize, self.enable_fusion)
+        key = (id(program), self.optimize, self.enable_fusion, self.codegen_tier)
         with self._lock:
             entry = self._compile_cache.get(key)
             if entry is not None and entry[0] is program:
@@ -248,7 +287,9 @@ class TiltEngine:
                 self._m_compile_hits.inc()
             else:
                 self._m_compile_misses.inc()
-                with self.tracer.span("engine.compile", output=program.output):
+                with self.tracer.span(
+                    "engine.compile", output=program.output, tier=self.codegen_tier
+                ):
                     entry = (program, self.compile(program))
                 self._compile_cache[key] = entry
                 while len(self._compile_cache) > self.compile_cache_size:

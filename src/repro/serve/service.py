@@ -265,6 +265,11 @@ class QueryService:
         ``"process"`` backend scales across cores instead of contending on
         the GIL; tenants whose queries cannot be pickled fall back to
         threads per query.  Ignored when ``engine`` is given.
+    codegen_tier:
+        Codegen tier for the internally created engine (``"numpy"``,
+        ``"native"``, or ``"auto"``; ``None`` keeps the engine's default,
+        which honours ``REPRO_CODEGEN``).  Ignored when ``engine`` is
+        given.
     policy:
         Scheduler policy: ``"fair"`` (default), ``"round_robin"``, or a
         :class:`~repro.serve.scheduler.SchedulerPolicy` instance.
@@ -308,6 +313,7 @@ class QueryService:
         *,
         workers: int = 4,
         executor_kind: Optional[str] = None,
+        codegen_tier: Optional[str] = None,
         policy: Union[str, SchedulerPolicy] = "fair",
         max_tenants: int = 64,
         max_pending_events: int = 65_536,
@@ -325,7 +331,11 @@ class QueryService:
         self._engine = (
             engine
             if engine is not None
-            else TiltEngine(workers=workers, executor_kind=executor_kind)
+            else TiltEngine(
+                workers=workers,
+                executor_kind=executor_kind,
+                codegen_tier=codegen_tier,
+            )
         )
         self._owns_engine = engine is None
         self._tracer = self._engine.tracer
@@ -826,6 +836,7 @@ class QueryService:
             "output": compiled.output,
             "incremental": tenant.session.incremental,
             "kernels": kernels,
+            "codegen_tiers": dict(compiled.codegen_tiers),
             "generated_source": compiled.sources(),
         }
 

@@ -18,6 +18,7 @@ import numpy as np
 import pytest
 
 from repro.apps import ALL_APPLICATIONS, get_application
+from repro.core.codegen import native as native_codegen
 from repro.core.codegen.compiled import CompiledKernel, CompiledQuery, compile_program
 from repro.core.frontend.query import PAYLOAD, source
 from repro.core.runtime.engine import TiltEngine
@@ -42,6 +43,11 @@ E = PAYLOAD
 #: enough that every app emits output across several partitions
 APP_EVENTS = 500
 
+requires_native = pytest.mark.skipif(
+    not native_codegen.native_available(),
+    reason="native codegen toolchain (cffi + C compiler) unavailable",
+)
+
 
 @pytest.fixture(scope="module")
 def process_engine():
@@ -54,6 +60,36 @@ def process_engine():
 def thread_engine():
     with TiltEngine(workers=3, executor_kind="thread", partitions_per_worker=3) as engine:
         yield engine
+
+
+@pytest.fixture(scope="module")
+def native_thread_engine():
+    """Thread-pool engine on the native tier, same grid as thread_engine."""
+    with TiltEngine(
+        workers=3, executor_kind="thread", partitions_per_worker=3, codegen_tier="native"
+    ) as engine:
+        yield engine
+
+
+@pytest.fixture(scope="module")
+def native_process_engine():
+    """Process-pool engine on the native tier, same grid as process_engine."""
+    with TiltEngine(
+        workers=2, executor_kind="process", partitions_per_worker=3, codegen_tier="native"
+    ) as engine:
+        yield engine
+
+
+def assert_bitwise_equal(got: SSBuf, want: SSBuf) -> None:
+    """Byte-for-byte snapshot equality: times, mask, and the raw float bits
+    of the values (strictly stronger than ``SSBuf.__eq__``'s allclose)."""
+    assert len(got) == len(want)
+    assert got.start_time == want.start_time
+    assert np.array_equal(got.times, want.times)
+    assert np.array_equal(got.valid, want.valid)
+    got_bits = np.asarray(got.values, dtype=np.float64).view(np.uint64)
+    want_bits = np.asarray(want.values, dtype=np.float64).view(np.uint64)
+    assert np.array_equal(got_bits, want_bits), "values differ bitwise"
 
 
 # ---------------------------------------------------------------------- #
@@ -102,6 +138,100 @@ class TestCrossBackendEquivalence:
             session.close()
             assert ticks > 3, "expected a multi-tick run"
             assert session.result().output == reference
+
+
+# ---------------------------------------------------------------------- #
+# codegen tier equivalence
+# ---------------------------------------------------------------------- #
+@requires_native
+class TestCodegenTierEquivalence:
+    """The native tier must be unobservable next to the NumPy tier.
+
+    Comparisons between the two tiers on the *same* engine configuration
+    are bitwise — both tiers lower the same ``KernelSpec`` and the C
+    kernels reproduce NumPy's accumulation order exactly.  Comparisons
+    across partition grids use ``SSBuf`` equality like the rest of this
+    suite: even the NumPy tier is only reassociation-invariant across
+    grids (per-partition variance centering picks different means).
+    """
+
+    @pytest.mark.parametrize("name", sorted(ALL_APPLICATIONS))
+    def test_every_app_bitwise_identical_numpy_vs_native(
+        self, name, thread_engine, native_thread_engine, process_engine, native_process_engine
+    ):
+        app = ALL_APPLICATIONS[name]
+        program = app.program()
+        streams = app.streams(APP_EVENTS, seed=17)
+        with TiltEngine(workers=1) as serial_np:
+            reference = serial_np.run(program, streams).output
+        with TiltEngine(workers=1, codegen_tier="native") as serial_nat:
+            assert_bitwise_equal(serial_nat.run(program, streams).output, reference)
+        thread_nat = native_thread_engine.run(program, streams).output
+        assert_bitwise_equal(thread_nat, thread_engine.run(program, streams).output)
+        assert thread_nat == reference
+        process_nat = native_process_engine.run(program, streams).output
+        assert_bitwise_equal(process_nat, process_engine.run(program, streams).output)
+        assert process_nat == reference
+
+    @pytest.mark.parametrize("interval", [13.0, 41.5])
+    def test_ragged_partition_intervals_native(self, interval):
+        app = get_application("trading")
+        program = app.program()
+        streams = app.streams(700, seed=5)
+        with TiltEngine(workers=1) as serial:
+            reference = serial.run(program, streams).output
+        for kind in ("thread", "process"):
+            kw = dict(workers=2, executor_kind=kind, partition_interval=interval)
+            with TiltEngine(**kw) as np_eng:
+                np_out = np_eng.run(program, streams).output
+            with TiltEngine(**kw, codegen_tier="native") as nat_eng:
+                nat_out = nat_eng.run(program, streams).output
+            assert_bitwise_equal(nat_out, np_out)
+            assert nat_out == reference, kind
+
+    def test_streaming_session_ticks_native(self):
+        """Native-tier session ticks concatenate bitwise-identically to the
+        NumPy tier over the same ragged tick schedule, and match the serial
+        one-shot reference."""
+        app = get_application("rsi")
+        program = app.program()
+        streams = app.streams(600, seed=11)
+
+        def session_output(**engine_kwargs):
+            with TiltEngine(**engine_kwargs) as engine:
+                session = engine.open_session(
+                    program, sources_for_streams(streams, events_per_poll=83)
+                )
+                session.run_to_exhaustion()
+                return session.result().output
+
+        np_out = session_output(workers=1)
+        nat_out = session_output(workers=1, codegen_tier="native")
+        assert_bitwise_equal(nat_out, np_out)
+        with TiltEngine(workers=1) as serial:
+            assert nat_out == serial.run(program, streams).output
+
+    def test_incremental_session_native(self):
+        """Incremental mode (reduce-site runtime override) composes with the
+        native tier: output kernels take the NumPy path under the override,
+        intermediates run natively, output stays bitwise-identical."""
+        app = get_application("normalize")
+        program = app.program()
+        streams = app.streams(600, seed=11)
+
+        def session_output(**engine_kwargs):
+            with TiltEngine(**engine_kwargs) as engine:
+                session = engine.open_session(
+                    program,
+                    sources_for_streams(streams, events_per_poll=83),
+                    incremental=True,
+                )
+                session.run_to_exhaustion()
+                return session.result().output
+
+        assert_bitwise_equal(
+            session_output(workers=1, codegen_tier="native"), session_output(workers=1)
+        )
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,364 @@
+"""Native codegen tier: selection, fallback, caching, and observability.
+
+The cross-backend *equivalence* of the native tier lives in
+``tests/test_backends.py`` (``TestCodegenTierEquivalence``); this module
+pins down the tier machinery itself — knob resolution (constructor arg,
+``REPRO_CODEGEN``, ``"auto"``), per-kernel fallback when the toolchain is
+absent or a construct is not lowerable, digest-keyed JIT caching (memory
+LRU + shared disk cache + warm ``precompile``), tier-aware compile-cache
+keying and pickling, and the metrics/span/flight-recorder evidence trail.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.apps import get_application
+from repro.core.codegen import native
+from repro.core.codegen.compiled import (
+    NATIVE_TIER,
+    NUMPY_TIER,
+    CompiledKernel,
+    compile_program,
+    resolve_codegen_tier,
+)
+from repro.core.frontend.query import source
+from repro.core.runtime.engine import TiltEngine
+from repro.errors import CompilationError, QueryBuildError
+from repro.windowing import MEAN, SUM, custom_aggregate
+
+requires_native = pytest.mark.skipif(
+    not native.native_available(),
+    reason="native codegen toolchain (cffi + C compiler) unavailable",
+)
+
+
+def mean_program():
+    return source("x").window(10, 1).aggregate(MEAN).to_program()
+
+
+def custom_agg_program():
+    crest = custom_aggregate(
+        "crest",
+        init=lambda: 0.0,
+        acc=lambda s, v: max(s, abs(v)),
+        result=lambda s: s,
+    )
+    return source("x").window(10, 1).aggregate(crest).to_program()
+
+
+# ---------------------------------------------------------------------- #
+# tier selection
+# ---------------------------------------------------------------------- #
+class TestTierSelection:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CODEGEN", raising=False)
+        with TiltEngine(workers=1) as engine:
+            assert engine.codegen_tier == NUMPY_TIER
+
+    @requires_native
+    def test_constructor_selects_native(self):
+        with TiltEngine(workers=1, codegen_tier="native") as engine:
+            assert engine.codegen_tier == NATIVE_TIER
+
+    @requires_native
+    def test_env_var_selects_tier(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODEGEN", "native")
+        with TiltEngine(workers=1) as engine:
+            assert engine.codegen_tier == NATIVE_TIER
+
+    @requires_native
+    def test_constructor_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODEGEN", "native")
+        with TiltEngine(workers=1, codegen_tier="numpy") as engine:
+            assert engine.codegen_tier == NUMPY_TIER
+
+    def test_invalid_tier_rejected(self):
+        with pytest.raises(QueryBuildError):
+            TiltEngine(workers=1, codegen_tier="fortran")
+        with pytest.raises(CompilationError):
+            compile_program(mean_program(), codegen_tier="fortran")
+
+    def test_invalid_env_tier_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODEGEN", "fortran")
+        with pytest.raises(QueryBuildError):
+            TiltEngine(workers=1)
+
+    def test_auto_resolves_by_availability(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
+        assert resolve_codegen_tier("auto") == NUMPY_TIER
+        monkeypatch.delenv("REPRO_NATIVE_DISABLE")
+        if native.native_available():
+            assert resolve_codegen_tier("auto") == NATIVE_TIER
+
+    def test_numpy_tier_has_no_native_kernel(self):
+        compiled = compile_program(mean_program())
+        (kernel,) = compiled.kernels
+        assert kernel.tier == NUMPY_TIER
+        assert kernel.active_tier == NUMPY_TIER
+
+
+# ---------------------------------------------------------------------- #
+# fallback paths
+# ---------------------------------------------------------------------- #
+class TestFallback:
+    def test_missing_toolchain_falls_back_per_kernel(self, monkeypatch):
+        """With the dependency gated off, a native-tier engine still runs —
+        every kernel silently takes the NumPy path, observably via the
+        fallback counter and the per-kernel reason."""
+        monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
+        app = get_application("trading")
+        streams = app.streams(300, seed=3)
+        with TiltEngine(workers=1, codegen_tier="native") as engine:
+            compiled = engine.compile(app.program())
+            for kernel in compiled.kernels:
+                assert kernel.tier == NATIVE_TIER
+                assert kernel.active_tier == NUMPY_TIER
+                assert "unavailable" in kernel.native_fallback_reason
+            result = engine.run(compiled, streams).output
+            assert engine._m_native_fallbacks.value == len(compiled.kernels)
+        with TiltEngine(workers=1) as engine:
+            assert result == engine.run(app.program(), streams).output
+
+    @requires_native
+    def test_unlowerable_custom_aggregate_falls_back(self):
+        compiled = compile_program(custom_agg_program(), codegen_tier=NATIVE_TIER)
+        (kernel,) = compiled.kernels
+        assert kernel.active_tier == NUMPY_TIER
+        assert "aggregate" in kernel.native_fallback_reason
+
+    @requires_native
+    def test_mixed_query_falls_back_per_kernel(self):
+        """In one program, lowerable kernels go native while an unlowerable
+        one (a custom Python aggregate) stays on NumPy — fallback is per
+        kernel, not per query."""
+        app = get_application("pantom")
+        compiled = compile_program(app.program(), codegen_tier=NATIVE_TIER)
+        tiers = compiled.codegen_tiers
+        assert set(tiers.values()) == {NUMPY_TIER, NATIVE_TIER}
+        streams = app.streams(300, seed=3)
+        with TiltEngine(workers=1, codegen_tier="native") as engine:
+            nat = engine.run(app.program(), streams).output
+        with TiltEngine(workers=1, codegen_tier="numpy") as engine:
+            assert nat == engine.run(app.program(), streams).output
+
+    def test_lowering_blockers_reported_before_digest(self):
+        compiled = compile_program(custom_agg_program())
+        (kernel,) = compiled.kernels
+        blockers = native.lowering_blockers(kernel.spec)
+        assert blockers and any("aggregate" in b for b in blockers)
+
+    @requires_native
+    def test_interpreted_mode_never_goes_native(self, random_walk_stream):
+        """Interpreted mode has no KernelSpec to lower — the knob composes
+        by simply never reaching the native tier."""
+        program = get_application("trading").program()
+        with TiltEngine(workers=1, mode="interpreted") as reference_engine:
+            reference = reference_engine.run(program, {"stock": random_walk_stream}).output
+        with TiltEngine(workers=1, mode="interpreted", codegen_tier="native") as engine:
+            assert engine.run(program, {"stock": random_walk_stream}).output == reference
+
+
+# ---------------------------------------------------------------------- #
+# JIT caching
+# ---------------------------------------------------------------------- #
+@requires_native
+class TestJITCache:
+    def test_memory_cache_hits_by_digest(self):
+        compiled = compile_program(mean_program(), codegen_tier=NATIVE_TIER)
+        (kernel,) = compiled.kernels
+        assert kernel.active_tier == NATIVE_TIER
+        before = native.stats()
+        again = compile_program(mean_program(), codegen_tier=NATIVE_TIER)
+        assert again.kernels[0].active_tier == NATIVE_TIER
+        after = native.stats()
+        assert after["mem_hits_total"] > before["mem_hits_total"]
+        assert after["compiles_total"] == before["compiles_total"]
+
+    def test_disk_cache_survives_memory_flush(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_CACHE", str(tmp_path))
+        from repro.core.codegen import compiled as compiled_mod
+
+        native.clear_caches()
+        compiled_mod._KERNEL_REBUILD_CACHE.clear()
+        compiled = compile_program(mean_program(), codegen_tier=NATIVE_TIER)
+        assert compiled.kernels[0].active_tier == NATIVE_TIER
+        sos = list(tmp_path.glob("tilt-*.so"))
+        assert sos, "compiled artifact should land in the configured cache dir"
+        native.clear_caches()
+        before = native.stats()
+        compiled_mod._KERNEL_REBUILD_CACHE.clear()
+        again = compile_program(mean_program(), codegen_tier=NATIVE_TIER)
+        assert again.kernels[0].active_tier == NATIVE_TIER
+        after = native.stats()
+        assert after["disk_hits_total"] > before["disk_hits_total"]
+
+    def test_precompile_warms_cache(self):
+        compiled = compile_program(mean_program())
+        native.clear_caches()
+        report = native.precompile(k.spec for k in compiled.kernels)
+        assert set(report.values()) == {None}
+        before = native.stats()
+        nat = compile_program(mean_program(), codegen_tier=NATIVE_TIER)
+        assert nat.kernels[0].active_tier == NATIVE_TIER
+        assert native.stats()["mem_hits_total"] > before["mem_hits_total"]
+
+    def test_failure_cache_short_circuits(self):
+        compiled = compile_program(custom_agg_program(), codegen_tier=NATIVE_TIER)
+        kernel, reason = native.instantiate(compiled.kernels[0].spec)
+        assert kernel is None and reason
+
+
+# ---------------------------------------------------------------------- #
+# tier-aware caching and pickling
+# ---------------------------------------------------------------------- #
+@requires_native
+class TestTierKeying:
+    def test_engine_compile_cache_keys_on_tier(self):
+        """A tier switch on a shared engine must never serve a stale-tier
+        compiled query."""
+        program = mean_program()
+        with TiltEngine(workers=1, codegen_tier="numpy") as np_eng, TiltEngine(
+            workers=1, codegen_tier="native"
+        ) as nat_eng:
+            np_compiled = np_eng.compile_cached(program)
+            nat_compiled = nat_eng.compile_cached(program)
+            assert np_compiled is not nat_compiled
+            assert np_compiled.kernels[0].tier == NUMPY_TIER
+            assert nat_compiled.kernels[0].tier == NATIVE_TIER
+            assert np_eng.compile_cached(program) is np_compiled
+            assert nat_eng.compile_cached(program) is nat_compiled
+
+    def test_from_spec_keys_on_tier(self):
+        compiled = compile_program(mean_program())
+        spec = compiled.kernels[0].spec
+        a = CompiledKernel.from_spec(spec, tier=NUMPY_TIER)
+        b = CompiledKernel.from_spec(spec, tier=NATIVE_TIER)
+        assert a is not b
+        assert (a.tier, b.tier) == (NUMPY_TIER, NATIVE_TIER)
+        assert CompiledKernel.from_spec(spec, tier=NATIVE_TIER) is b
+
+    def test_pickle_round_trip_preserves_tier(self):
+        compiled = compile_program(mean_program(), codegen_tier=NATIVE_TIER)
+        clone = pickle.loads(pickle.dumps(compiled.kernels[0]))
+        assert clone.tier == NATIVE_TIER
+        assert clone.active_tier == NATIVE_TIER
+
+    def test_worker_payload_distinct_per_tier(self):
+        """The pickled worker payload differs per tier, so the worker-side
+        query cache (keyed on payload digest) can never mix tiers."""
+        program = mean_program()
+        np_payload = compile_program(program).pickle_payload()
+        nat_payload = compile_program(program, codegen_tier=NATIVE_TIER).pickle_payload()
+        assert np_payload[0] != nat_payload[0]
+
+
+# ---------------------------------------------------------------------- #
+# observability
+# ---------------------------------------------------------------------- #
+@requires_native
+class TestObservability:
+    def test_compile_span_records_tier(self):
+        with TiltEngine(workers=1, codegen_tier="native", trace=True) as engine:
+            engine.compile_cached(mean_program())
+            records = engine.tracer.drain()
+        spans = [r for r in records if r.name == "engine.compile"]
+        assert spans and spans[0].attrs["tier"] == NATIVE_TIER
+
+    def test_native_metrics_counters(self):
+        """Fallbacks and build seconds are charged to the engine registry."""
+        app = get_application("pantom")  # custom agg kernel + lowerable ones
+        with TiltEngine(workers=1, codegen_tier="native") as engine:
+            compiled = engine.compile(app.program())
+            assert engine._m_native_fallbacks.value >= 1
+            native_kernels = [
+                k for k in compiled.kernels if k.active_tier == NATIVE_TIER
+            ]
+            assert native_kernels, "pantom has lowerable kernels too"
+            reg = engine.registry.to_json()
+            assert "repro_native_fallbacks_total" in reg
+            assert "repro_native_compile_seconds_total" in reg
+
+    def test_flight_context_records_tiers(self):
+        from repro.datagen.sources import sources_for_streams
+        from repro.serve.service import QueryService
+
+        app = get_application("trading")
+        streams = app.streams(300, seed=5)
+        service = QueryService(workers=1, codegen_tier="native")
+        try:
+            name = service.submit(
+                app.program(),
+                sources=sources_for_streams(streams, events_per_poll=64),
+            )
+            service.run_until_idle()
+            tenant = service._tenants[name]
+            context = QueryService._flight_context(tenant)
+            assert set(context["codegen_tiers"].values()) <= {NUMPY_TIER, NATIVE_TIER}
+            assert NATIVE_TIER in context["codegen_tiers"].values()
+        finally:
+            service.close()
+
+    def test_module_stats_shape(self):
+        counters = native.stats()
+        assert {
+            "compiles_total",
+            "compile_seconds_total",
+            "fallbacks_total",
+            "mem_hits_total",
+            "disk_hits_total",
+        } <= set(counters)
+
+
+# ---------------------------------------------------------------------- #
+# per-construct bitwise equivalence
+# ---------------------------------------------------------------------- #
+@requires_native
+class TestConstructEquivalence:
+    """Single-construct programs, compared bitwise against the NumPy tier —
+    narrower than the app sweep in test_backends.py, so a mismatch points
+    at one template."""
+
+    @pytest.mark.parametrize("agg_name", sorted(native._LOWERABLE_AGGS))
+    def test_every_lowerable_aggregate_bitwise(self, agg_name, random_walk_buf):
+        from repro.windowing.functions import builtin_aggregates
+
+        agg = builtin_aggregates()[agg_name]
+        program = source("x").window(10, 1).aggregate(agg).to_program()
+        np_out = compile_program(program).run({"x": random_walk_buf}, 0.0, 200.0)
+        nat_compiled = compile_program(program, codegen_tier=NATIVE_TIER)
+        assert nat_compiled.kernels[-1].active_tier == NATIVE_TIER, agg_name
+        nat_out = nat_compiled.run({"x": random_walk_buf}, 0.0, 200.0)
+        assert np.array_equal(np_out.times, nat_out.times)
+        assert np.array_equal(np_out.valid, nat_out.valid)
+        assert np.array_equal(
+            np.asarray(np_out.values).view(np.uint64),
+            np.asarray(nat_out.values).view(np.uint64),
+        ), agg_name
+
+    def test_nan_propagation_through_rmq(self):
+        """NaNs inside a max/min window poison exactly the windows NumPy
+        poisons — the deque's NaN-prefix override, bit for bit."""
+        from repro.core.runtime.ssbuf import SSBuf
+
+        n = 64
+        times = np.arange(n, dtype=np.float64)
+        values = np.sin(times)
+        values[7] = np.nan
+        values[31] = np.nan
+        buf = SSBuf(times, values, np.ones(n, dtype=bool), start_time=0.0)
+        for agg_name in ("max", "min"):
+            from repro.windowing.functions import builtin_aggregates
+
+            agg = builtin_aggregates()[agg_name]
+            program = source("x").window(8, 1).aggregate(agg).to_program()
+            np_out = compile_program(program).run({"x": buf}, 0.0, float(n))
+            nat = compile_program(program, codegen_tier=NATIVE_TIER)
+            assert nat.kernels[-1].active_tier == NATIVE_TIER
+            nat_out = nat.run({"x": buf}, 0.0, float(n))
+            assert np.array_equal(
+                np.asarray(np_out.values).view(np.uint64),
+                np.asarray(nat_out.values).view(np.uint64),
+            ), agg_name
