@@ -61,6 +61,7 @@ from .core import (
     source,
     when,
 )
+from .analysis import ProgramReport, analyze_program
 from .errors import TiltError
 from .obs import MetricsRegistry, Tracer
 from .serve import QueryService, ServiceStats
@@ -93,4 +94,6 @@ __all__ = [
     "ServiceStats",
     "MetricsRegistry",
     "Tracer",
+    "ProgramReport",
+    "analyze_program",
 ]

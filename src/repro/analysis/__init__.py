@@ -1,0 +1,30 @@
+"""Static analysis over TiLT programs and over the codebase itself.
+
+Two prongs (see ``docs/architecture.md`` §10):
+
+* :mod:`repro.analysis.program` — a diagnostics pass over validated
+  :class:`~repro.core.ir.nodes.TiltProgram` objects producing a structured
+  :class:`~repro.analysis.findings.ProgramReport`.  Its centerpiece is the
+  *bounds-safety proof*: an independent re-composition of every
+  ``TWindow``/``TIndex`` extent that is cross-checked against the resolved
+  boundary plan and the margins the partitioner will actually materialize,
+  so both codegen tiers compile only access-proven kernels.
+* :mod:`repro.analysis.lint` — an AST-based checker suite encoding repo
+  invariants (no blocking calls under a held lock, no shared-state mutation
+  from generated-kernel helpers, Prometheus metric-name discipline), run
+  over ``src/repro`` in CI via ``python -m repro.analysis --self``.
+"""
+
+from __future__ import annotations
+
+from .findings import Finding, ProgramReport, Severity
+from .program import analyze_program, check_boundary, program_digest
+
+__all__ = [
+    "Finding",
+    "ProgramReport",
+    "Severity",
+    "analyze_program",
+    "check_boundary",
+    "program_digest",
+]

@@ -1,0 +1,146 @@
+"""Structured diagnostics: findings, severities, and program reports.
+
+Every diagnostic the program analyzer emits is a :class:`Finding` with a
+*stable code* (``BS003``, ``DOM001``, ...) so tests, CI gates and the
+telemetry ``/analyze`` route can match on identity rather than message
+text.  A :class:`ProgramReport` aggregates the findings of one program
+together with the program digest the analyzer cached them under.
+
+Severity semantics
+------------------
+``error``
+    The program violates a safety property the runtime relies on
+    (uncovered windowed access, unbounded extent).  ``compile_program``
+    refuses to lower such a program; the native tier additionally refuses
+    any spec that does not carry the resulting bounds proof.
+``warning``
+    Legal but suspicious (dead definition, unguarded NaN-producing site).
+    Compilation proceeds.
+``info``
+    Neutral facts surfaced for other subsystems (per-kernel static cost
+    estimates seeding the scheduler's cost EWMA).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Severity(str, enum.Enum):
+    """Severity of a finding; ``str``-valued so it JSON-serializes as-is."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a stable code, a severity, and where it applies.
+
+    ``site`` names the temporal expression (or input stream) the finding
+    anchors to, empty for whole-program findings.  ``data`` carries
+    machine-readable details (offsets, margins, cost estimates) for
+    programmatic consumers; the human-readable ``message`` embeds the same
+    numbers.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    site: str = ""
+    data: Dict[str, object] = field(default_factory=dict, compare=False, hash=False)
+
+    def format(self) -> str:
+        where = f" [~{self.site}]" if self.site else ""
+        return f"{self.code} {self.severity.value}{where}: {self.message}"
+
+
+@dataclass
+class ProgramReport:
+    """All findings of one analyzed program, plus its identifying digest."""
+
+    digest: str
+    findings: List[Finding] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def infos(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.INFO]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity is Severity.ERROR for f in self.findings)
+
+    def by_code(self, code: str) -> List[Finding]:
+        return [f for f in self.findings if f.code == code]
+
+    def codes(self) -> List[str]:
+        """Distinct finding codes, in first-occurrence order."""
+        seen: Dict[str, None] = {}
+        for f in self.findings:
+            seen.setdefault(f.code)
+        return list(seen)
+
+    # ------------------------------------------------------------------ #
+    def proof_token(self) -> Optional[str]:
+        """Certificate prefix for bounds-proven kernel specs.
+
+        ``None`` while any error finding stands — a program that failed its
+        bounds-safety check has no proof, and the native tier will refuse
+        specs without one.
+        """
+        if self.has_errors:
+            return None
+        return f"bounds-proof:{self.digest[:16]}"
+
+    def summary(self) -> Dict[str, object]:
+        """Compact JSON-friendly rollup for telemetry and flight contexts."""
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.code] = counts.get(f.code, 0) + 1
+        return {
+            "digest": self.digest[:16],
+            "errors": len(self.errors()),
+            "warnings": len(self.warnings()),
+            "infos": len(self.infos()),
+            "codes": counts,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Full JSON document (the ``/analyze`` telemetry route payload)."""
+        return {
+            "digest": self.digest,
+            "summary": self.summary(),
+            "findings": [
+                {
+                    "code": f.code,
+                    "severity": f.severity.value,
+                    "site": f.site,
+                    "message": f.message,
+                    "data": dict(f.data),
+                }
+                for f in self.findings
+            ],
+        }
+
+    def format(self) -> str:
+        """Multi-line human-readable report."""
+        s = self.summary()
+        head = (
+            f"program {self.digest[:16]}: "
+            f"{s['errors']} error(s), {s['warnings']} warning(s), {s['infos']} info"
+        )
+        lines = [head]
+        lines.extend("  " + f.format() for f in self.findings)
+        return "\n".join(lines)

@@ -18,7 +18,9 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from ...errors import CompilationError, ExecutionError
+from ...analysis.findings import ProgramReport
+from ...analysis.program import analyze_program
+from ...errors import AnalysisError, CompilationError, ExecutionError
 from ..ir.analysis import topological_order
 from ..ir.nodes import TemporalExpr, TiltProgram
 from ..ir.validation import validate_program
@@ -183,6 +185,10 @@ class CompiledQuery:
     pass_manager:
         The pass manager that optimized the program (kept for its history /
         statistics; useful for the Figure 10 style sensitivity analysis).
+    report:
+        The static-analysis :class:`~repro.analysis.findings.ProgramReport`
+        that proved the program's bounds safety (error-free by construction:
+        ``compile_program`` raises :class:`AnalysisError` otherwise).
 
     A compiled query is picklable whenever all of its aggregates are
     (built-ins always; custom aggregates only when their callables are
@@ -197,16 +203,20 @@ class CompiledQuery:
     boundary: BoundarySpec
     kernels: List[CompiledKernel]
     pass_manager: Optional[PassManager] = None
+    report: Optional[ProgramReport] = None
 
     def __getstate__(self):
         # the pass manager holds optimizer history (closures over pass
         # objects) that is neither needed by a worker nor reliably
         # picklable; the cached payload is process-local by definition.
+        # The analysis report is likewise a coordinator-side artifact —
+        # workers receive proof-stamped kernel specs, not the diagnostics.
         return {
             "program": self.program,
             "boundary": self.boundary,
             "kernels": self.kernels,
             "pass_manager": None,
+            "report": None,
         }
 
     def __setstate__(self, state):
@@ -308,9 +318,24 @@ def compile_program(
         pm = pass_manager or default_pass_manager(enable_fusion=enable_fusion)
         program = pm.run(program)
     boundary = resolve_boundaries(program)
+    # bounds-safety gate: the analyzer independently re-composes every
+    # access extent and cross-checks it against the boundary plan; kernels
+    # are generated only for proven programs, and each spec carries the
+    # proof token the native tier demands before lowering to raw-array C.
+    # Reports are cached by program digest, so recompilation is one lookup.
+    report = analyze_program(program, boundary=boundary)
+    if report.has_errors:
+        details = "; ".join(f.format() for f in report.errors())
+        raise AnalysisError(
+            f"static analysis refused the program: {details}", report=report
+        )
+    proof = report.proof_token()
     order = topological_order(program)
     by_name: Dict[str, TemporalExpr] = {te.name: te for te in program.exprs}
-    kernels = [
-        CompiledKernel(generate_kernel_spec(by_name[name]), tier=tier) for name in order
-    ]
-    return CompiledQuery(program=program, boundary=boundary, kernels=kernels, pass_manager=pm)
+    specs = [generate_kernel_spec(by_name[name]) for name in order]
+    for spec in specs:
+        spec.bounds_proof = f"{proof}:{spec.name}"
+    kernels = [CompiledKernel(spec, tier=tier) for spec in specs]
+    return CompiledQuery(
+        program=program, boundary=boundary, kernels=kernels, pass_manager=pm, report=report
+    )

@@ -887,6 +887,17 @@ def instantiate(spec: KernelSpec) -> Tuple[Optional[NativeKernel], Optional[str]
     if not native_available():
         _count("fallbacks_total")
         return None, "native toolchain unavailable (cffi + C compiler required)"
+    if spec.bounds_proof is None:
+        # the C lowering indexes raw arrays where an uncovered access is
+        # silent memory corruption, so it refuses to *trust* the margin
+        # contract: only specs stamped by compile_program's analyzer gate
+        # (repro.analysis bounds-safety proof) are lowered; everything else
+        # falls back to the bounds-checked NumPy tier with this reason.
+        _count("fallbacks_total")
+        return None, (
+            "spec carries no bounds-safety proof (not produced by "
+            "compile_program's analyzer gate); refusing native lowering"
+        )
     blockers = lowering_blockers(spec)
     if blockers:
         _count("fallbacks_total")

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ...errors import CompilationError
 from ...windowing.functions import AggregateFunction
+from ..ir.analysis import estimate_static_cost
 from ..ir.nodes import (
     ELEM_VAR,
     BinOp,
@@ -93,6 +94,19 @@ class KernelSpec:
     #: :attr:`reduce_sites` it is fully determined by the same compilation
     #: pass that produced ``source``, so it adds no identifying content.
     te: Optional[TemporalExpr] = None
+    #: static cost estimate (window depth × op count) from
+    #: :func:`repro.core.ir.analysis.estimate_static_cost` — seeds the
+    #: scheduler's per-tenant cost EWMA.  Derived, so not part of
+    #: :meth:`digest`.
+    static_cost: float = 0.0
+    #: bounds-safety certificate stamped by ``compile_program`` after the
+    #: analyzer proved every windowed access of the program is covered by
+    #: the resolved partition margins (``None`` until then).  The native
+    #: tier refuses to lower a spec without one (see
+    #: :func:`repro.core.codegen.native.instantiate`).  Not part of
+    #: :meth:`digest`: the proof certifies the same content the digest
+    #: identifies, it does not change the executable artifact.
+    bounds_proof: Optional[str] = None
 
     def describe(self) -> str:
         """Generated source plus element maps — for logging and golden tests."""
@@ -379,6 +393,7 @@ class _KernelBuilder:
             referenced=list(accesses.keys()),
             reduce_sites=list(self.reduce_sites),
             te=self.te,
+            static_cost=estimate_static_cost(self.te),
         )
 
 

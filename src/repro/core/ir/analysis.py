@@ -39,6 +39,8 @@ __all__ = [
     "dependency_graph",
     "topological_order",
     "count_nodes",
+    "window_spans",
+    "estimate_static_cost",
 ]
 
 
@@ -212,3 +214,43 @@ def count_nodes(expr: Expr) -> int:
     counter = _NodeCounter()
     counter.visit(expr)
     return counter.count
+
+
+class _WindowSpanCollector(ExprVisitor):
+    def __init__(self) -> None:
+        self.spans: List[float] = []
+
+    def visit_twindow(self, node: TWindow) -> None:
+        self.spans.append(node.end_offset - node.start_offset)
+
+    def visit_reduce(self, node: Reduce) -> None:
+        self.visit(node.window)
+        if node.element is not None:
+            self.visit(node.element)
+
+
+def window_spans(expr: Expr) -> List[float]:
+    """The temporal span of every ``TWindow`` in the expression tree."""
+    collector = _WindowSpanCollector()
+    collector.visit(expr)
+    return collector.spans
+
+
+def estimate_static_cost(te: TemporalExpr) -> float:
+    """Static per-kernel cost estimate: window depth × op count.
+
+    ``depth`` counts, in units of the expression's time-domain precision,
+    how many snapshots the kernel's windows fold per output point (1 when
+    the kernel is pure point-access).  The estimate is dimensionless and
+    only meaningful *relative* to other kernels — the scheduler's cost EWMA
+    uses it to seed a new tenant's per-tick cost from the observed
+    seconds-per-cost-unit of tenants already running (see
+    :class:`repro.serve.scheduler.DeficitFairPolicy`), instead of starting
+    every tenant at "unknown".
+    """
+    ops = count_nodes(te.expr)
+    spans = window_spans(te.expr)
+    unit = te.tdom.precision if te.tdom.precision > 0 else 1.0
+    finite = [s for s in spans if s == s and s != float("inf")]
+    depth = sum(s / unit for s in finite)
+    return float(ops) * (1.0 + depth)

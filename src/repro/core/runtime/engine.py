@@ -255,6 +255,22 @@ class TiltEngine:
                     self._m_native_fallbacks.inc()
         return compiled
 
+    def analyze(self, program: TiltProgram):
+        """Run the static analyzer over ``program`` without compiling it.
+
+        Returns the full :class:`~repro.analysis.findings.ProgramReport` —
+        including error-severity findings that :meth:`compile` would turn
+        into an :class:`~repro.errors.AnalysisError` — so callers can
+        inspect a query's bounds proof, dead code, domain hazards and cost
+        estimates up front.  Reports are cached by program digest, so this
+        shares work with the compile-time gate.
+        """
+        from ...analysis import analyze_program
+        from ..ir.validation import validate_program
+
+        validate_program(program)
+        return analyze_program(program)
+
     def compile_cached(self, program: TiltProgram) -> CompiledQuery:
         """Compile ``program``, reusing a previous compilation of the same
         program object.

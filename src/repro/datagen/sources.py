@@ -361,7 +361,9 @@ class QueuedSource(EventSource):
                     )
                 last = e.start
             try:
-                n = self.queue.put(events, timeout=timeout)
+                # deliberate (see docstring): a blocked push parks concurrent
+                # producers on the serialization lock; close() wakes them all
+                n = self.queue.put(events, timeout=timeout)  # lint: allow(LNT101)
             except QueueClosedError as exc:
                 self._record_pushed(events, exc.enqueued)
                 raise

@@ -30,6 +30,17 @@ class CompilationError(TiltError):
     """Lowering the IR to an executable kernel failed."""
 
 
+class AnalysisError(CompilationError):
+    """The static analyzer found error-severity findings (e.g. a windowed
+    access not covered by the resolved partition margins); the program is
+    refused before any kernel is generated.  ``report`` carries the full
+    :class:`~repro.analysis.findings.ProgramReport`."""
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class ExecutionError(TiltError):
     """A compiled query failed while running."""
 

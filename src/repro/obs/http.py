@@ -19,6 +19,9 @@ Route      Payload
 ``/tenants``   Per-tenant stats rows (JSON)
 ``/trace``     Recent ticks as Chrome trace-event JSON
                (``?tenant=NAME`` filters to one tenant)
+``/analyze``   Static-analysis reports for the running queries
+               (``?tenant=NAME`` returns one tenant's full finding list;
+               without it, a per-tenant summary rollup)
 ========== ============================================================
 
 The server is deliberately *source-agnostic*: it is constructed from plain
@@ -64,6 +67,8 @@ class TelemetryServer:
         the route 404.
     trace:
         ``(tenant: Optional[str]) -> json_dict`` for ``/trace``.
+    analyze:
+        ``(tenant: Optional[str]) -> json_dict`` for ``/analyze``.
     host / port:
         Bind address.  Port 0 picks an ephemeral port; read the bound one
         from :attr:`port` after :meth:`start`.  The default host is
@@ -79,6 +84,7 @@ class TelemetryServer:
         slo: Optional[Callable[[], Optional[Dict[str, object]]]] = None,
         tenants: Optional[Callable[[], Dict[str, object]]] = None,
         trace: Optional[Callable[[Optional[str]], Dict[str, object]]] = None,
+        analyze: Optional[Callable[[Optional[str]], Dict[str, object]]] = None,
         host: str = "127.0.0.1",
         port: int = 0,
     ):
@@ -88,6 +94,7 @@ class TelemetryServer:
             "slo": slo,
             "tenants": tenants,
             "trace": trace,
+            "analyze": analyze,
         }
         self._host = host
         self._requested_port = int(port)
@@ -203,7 +210,9 @@ def _make_handler(owner: TelemetryServer):
                 elif route == "/tenants":
                     self._json_route("tenants")
                 elif route == "/trace":
-                    self._trace(parse_qs(parsed.query))
+                    self._tenant_route("trace", parse_qs(parsed.query))
+                elif route == "/analyze":
+                    self._tenant_route("analyze", parse_qs(parsed.query))
                 else:
                     self._send_json(404, {"error": f"unknown route {route!r}"})
                     return
@@ -225,6 +234,8 @@ def _make_handler(owner: TelemetryServer):
                 available.append("/tenants")
             if self._provider("trace") is not None:
                 available.append("/trace")
+            if self._provider("analyze") is not None:
+                available.append("/analyze")
             self._send_json(200, {"routes": available})
 
         def _metrics(self) -> None:
@@ -251,10 +262,10 @@ def _make_handler(owner: TelemetryServer):
                 return
             self._send_json(200, doc)
 
-        def _trace(self, query: Dict[str, list]) -> None:
-            provider = self._provider("trace")
+        def _tenant_route(self, name: str, query: Dict[str, list]) -> None:
+            provider = self._provider(name)
             if provider is None:
-                self._send_json(404, {"error": "no trace provider"})
+                self._send_json(404, {"error": f"no {name} provider"})
                 return
             tenant = query.get("tenant", [None])[0]
             self._send_json(200, provider(tenant))

@@ -96,6 +96,16 @@ class DeficitFairPolicy(SchedulerPolicy):
     receiving 10× the engine time as under round-robin.  Newly admitted
     tenants start at the current virtual clock so they neither starve the
     fleet catching up from zero nor wait behind everyone.
+
+    A tenant's first tick is normally charged blind (``cost_ewma`` starts
+    unknown).  When the compiler's static analyzer stamped a per-query cost
+    estimate on the tenant (``static_cost`` — window depth × op count, see
+    :func:`repro.core.ir.analysis.estimate_static_cost`), admission seeds
+    the EWMA from it instead: the policy maintains a fleet-wide EWMA of
+    observed *seconds per cost unit* and multiplies the new tenant's
+    estimate by it, so an expensive query is charged as expensive from its
+    very first tick.  Measured ticks then take over through the ordinary
+    EWMA update.
     """
 
     name = "fair"
@@ -105,9 +115,15 @@ class DeficitFairPolicy(SchedulerPolicy):
             raise QueryBuildError("ewma_alpha must be in (0, 1]")
         self.ewma_alpha = float(ewma_alpha)
         self._vclock = 0.0
+        #: fleet-wide observed seconds per static-cost unit (None until the
+        #: first measured tick of a tenant that carries an estimate)
+        self._cost_scale: Optional[float] = None
 
     def admit(self, tenant) -> None:
         tenant.vtime = self._vclock
+        static = getattr(tenant, "static_cost", 0.0)
+        if tenant.cost_ewma is None and static > 0.0 and self._cost_scale is not None:
+            tenant.cost_ewma = static * self._cost_scale
 
     def select(self, ready: Sequence):
         choice = min(ready, key=lambda t: (t.vtime, t.index))
@@ -120,6 +136,13 @@ class DeficitFairPolicy(SchedulerPolicy):
         else:
             tenant.cost_ewma += self.ewma_alpha * (float(seconds) - tenant.cost_ewma)
         tenant.vtime += tenant.cost_ewma / tenant.weight
+        static = getattr(tenant, "static_cost", 0.0)
+        if static > 0.0:
+            scale = float(seconds) / static
+            if self._cost_scale is None:
+                self._cost_scale = scale
+            else:
+                self._cost_scale += self.ewma_alpha * (scale - self._cost_scale)
 
 
 class TickScheduler:

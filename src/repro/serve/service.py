@@ -112,6 +112,10 @@ class TenantSession:
         #: scheduling state, maintained by the policy
         self.vtime = 0.0
         self.cost_ewma: Optional[float] = None
+        #: static per-tick cost estimate (sum of the compiled kernels'
+        #: analyzer cost estimates); lets the fair-share policy seed
+        #: ``cost_ewma`` before the first tick is ever measured
+        self.static_cost = 0.0
         self.ticks_scheduled = 0
         self.shed_events = 0
         self.admitted_wall = now
@@ -194,6 +198,7 @@ class TenantSession:
             "queue_depth": float(self.queue_depth),
             "shed_events": float(self.shed_events),
             "cost_ewma": float(self.cost_ewma or 0.0),
+            "static_cost": float(self.static_cost),
             "watermark": self.session.watermark,
             "error": repr(self.error) if self.error is not None else "",
             "traceback": self.traceback or "",
@@ -431,6 +436,7 @@ class QueryService:
                 ),
                 tenants=self._tenants_doc,
                 trace=self._trace_doc if self._tracer.enabled else None,
+                analyze=self._analysis_doc,
                 host=telemetry_host,
                 port=telemetry_port,
             ).start()
@@ -472,6 +478,31 @@ class QueryService:
         if self._recorder is not None:
             return self._recorder.to_chrome_trace(tenant)
         return to_chrome_trace([])
+
+    def _analysis_doc(self, tenant: Optional[str]) -> Dict[str, object]:
+        """Static-analysis reports for the ``/analyze`` route.
+
+        Without ``?tenant=`` returns every tenant's report summary; with it,
+        that tenant's full finding list (or an ``error`` entry for unknown /
+        interpreted-mode tenants, which have no compiled report).
+        """
+        with self._lock:
+            tenants = list(self._tenants.items())
+        if tenant is not None:
+            match = dict(tenants).get(tenant)
+            if match is None:
+                return {"error": f"unknown tenant {tenant!r}"}
+            report = getattr(
+                getattr(match.session, "_compiled", None), "report", None
+            )
+            if report is None:
+                return {"error": f"tenant {tenant!r} has no analysis report"}
+            return report.to_dict()
+        doc: Dict[str, object] = {}
+        for name, t in tenants:
+            report = getattr(getattr(t.session, "_compiled", None), "report", None)
+            doc[name] = report.summary() if report is not None else None
+        return doc
 
     def tenants(self) -> List[str]:
         """Names of all known tenants (any state), in admission order."""
@@ -584,6 +615,14 @@ class QueryService:
                 push_sources=push_sources,
                 now=self._clock(),
             )
+            compiled = getattr(session, "_compiled", None)
+            if compiled is not None:
+                # analyzer cost estimates (window depth × op count) seed the
+                # fair-share policy's cost EWMA: admit() converts them to
+                # seconds via the fleet's observed seconds-per-cost-unit
+                tenant.static_cost = float(
+                    sum(k.spec.static_cost for k in compiled.kernels)
+                )
             self._tenants[tenant_name] = tenant
             self._scheduler.admit(tenant)
             self._submitted += 1
@@ -838,6 +877,11 @@ class QueryService:
             "kernels": kernels,
             "codegen_tiers": dict(compiled.codegen_tiers),
             "generated_source": compiled.sources(),
+            # static-analysis rollup (finding counts by code) so a pinned
+            # slow tick carries the query's bounds proof / cost evidence
+            "analysis": (
+                compiled.report.summary() if compiled.report is not None else None
+            ),
         }
 
     def _advance(self, tenant: TenantSession, dirty_seq: int) -> Optional[TickResult]:

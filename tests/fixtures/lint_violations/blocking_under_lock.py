@@ -1,0 +1,41 @@
+"""Seeded LNT101 violations: blocking calls while a lock is held.
+
+Never imported — parsed by the lint checkers in tests and by the CI gate,
+which must FAIL on this file.
+"""
+
+import threading
+import time
+
+_LOCK = threading.Lock()
+
+
+class Worker:
+    def __init__(self, queue, thread):
+        self._lock = threading.RLock()
+        self._queue = queue
+        self._thread = thread
+
+    def enqueue(self, item):
+        with self._lock:
+            self._queue.put(item)  # LNT101: queue put under the lock
+
+    def nap(self):
+        with self._lock:
+            time.sleep(0.1)  # LNT101: sleep under the lock
+
+    def build(self, source):
+        with _LOCK:
+            return compile(source, "<x>", "exec")  # LNT101: compile under the lock
+
+    def reap(self):
+        with self._lock:
+            self._thread.join()  # LNT101: thread join under the lock
+
+    def fine(self, parts):
+        # negatives the checker must NOT flag:
+        with self._lock:
+            joined = ", ".join(parts)  # str.join is not blocking
+            self._lock.acquire  # attribute access, not a call
+            value = {"a": 1}.get("a")  # dict.get without timeout
+        return joined, value

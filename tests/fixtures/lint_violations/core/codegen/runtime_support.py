@@ -1,0 +1,28 @@
+"""Seeded LNT102 violations: shared-state mutation from a kernel helper.
+
+The path of this fixture deliberately ends in ``core/codegen/
+runtime_support.py`` so the lint applies its generated-kernel-helper rules.
+Never imported.
+"""
+
+_SHARED_CACHE = {}
+_CALL_COUNT = 0
+
+
+def remember(key, value):
+    _SHARED_CACHE[key] = value  # LNT102: mutating module-level state
+
+
+def bump():
+    global _CALL_COUNT  # LNT102: global rebinding in a kernel helper
+    _CALL_COUNT += 1
+
+
+def grow(items):
+    _SHARED_CACHE.update(items)  # LNT102: mutating call on module-level state
+
+
+def fine(local_cache, key, value):
+    # negative: mutating a caller-owned container is re-entrant
+    local_cache[key] = value
+    return dict(_SHARED_CACHE)  # reads are fine

@@ -1,0 +1,16 @@
+"""Seeded LNT103 violations: Prometheus metric-name discipline.
+
+Never imported — parsed by the lint checkers in tests and by the CI gate.
+"""
+
+
+def register(registry):
+    registry.counter("repro_requests", "missing _total suffix")  # LNT103
+    registry.gauge("repro_active_total", "gauge must not end in _total")  # LNT103
+    registry.histogram("repro_latency_total", "histogram must not end in _total")  # LNT103
+    registry.counter("Repro-Bad-Name_total", "not snake_case")  # LNT103
+    # negatives the checker must NOT flag:
+    ok_c = registry.counter("repro_requests_total", "fine")
+    ok_g = registry.gauge("repro_active_tenants", "fine")
+    ok_h = registry.histogram("repro_tick_seconds", "fine")
+    return ok_c, ok_g, ok_h

@@ -3,8 +3,12 @@
 import pytest
 
 from repro.core.ir import (
+    BinOp,
+    Call,
     IRBuilder,
     Let,
+    UnaryOp,
+    lift,
     Phi,
     Reduce,
     TDom,
@@ -126,3 +130,52 @@ class TestValidation:
         program = TiltProgram(("in",), (a, b), "a")
         with pytest.raises(ValidationError):
             validate_program(program)
+
+    def test_cyclic_dependency_rejected(self):
+        # mutual references evade per-expression checks only if validation is
+        # bypassed; topological_order must still detect the cycle directly
+        a = TemporalExpr("a", TDom(), TIndex("b", 0.0))
+        b = TemporalExpr("b", TDom(), TIndex("a", 0.0))
+        program = TiltProgram(("in",), (a, b), "a")
+        with pytest.raises(ValidationError, match="cycl"):
+            topological_order(program)
+
+
+class TestNodeValidation:
+    """Every node-level ValidationError raised in __post_init__ / lift."""
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValidationError, match="empty or inverted"):
+            TWindow("x", 0.0, 0.0)
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValidationError, match="empty or inverted"):
+            TWindow("x", 5.0, -5.0)
+
+    def test_unknown_binary_operator_rejected(self):
+        with pytest.raises(ValidationError, match="unknown binary operator"):
+            BinOp("@", TIndex("x", 0.0), TIndex("x", 0.0))
+
+    def test_unknown_unary_operator_rejected(self):
+        with pytest.raises(ValidationError, match="unknown unary operator"):
+            UnaryOp("conjugate", TIndex("x", 0.0))
+
+    def test_unknown_call_function_rejected(self):
+        with pytest.raises(ValidationError, match="unknown external function"):
+            Call("bessel", (TIndex("x", 0.0),))
+
+    def test_negative_precision_rejected(self):
+        with pytest.raises(ValidationError, match="precision"):
+            TDom(precision=-1.0)
+
+    def test_time_domain_end_before_start_rejected(self):
+        with pytest.raises(ValidationError, match="end must not precede start"):
+            TDom(10.0, 0.0)
+
+    def test_unnamed_temporal_expr_rejected(self):
+        with pytest.raises(ValidationError, match="must have a name"):
+            TemporalExpr("", TDom(), TIndex("x", 0.0))
+
+    def test_unliftable_value_rejected(self):
+        with pytest.raises(ValidationError, match="cannot lift"):
+            lift(object())
